@@ -1,0 +1,96 @@
+/// Reproduces paper Fig. 9 (Sec. IV-C): floating-point throughput (GFlop/s)
+/// of the factorization and solution stages for the Helmholtz problem, for
+/// the serial HODLR / GPU HODLR / serial block-sparse / parallel
+/// block-sparse solvers. Flops are counted by the kernels themselves
+/// (complex ops scaled by 4, as is conventional).
+
+#include "bench_util.hpp"
+#include "bie/helmholtz.hpp"
+#include "common/flops.hpp"
+
+using namespace hodlrx;
+using C = std::complex<double>;
+
+namespace {
+
+struct FlopStats {
+  double factor_gflops = 0, solve_gflops = 0;
+};
+
+template <typename Factor, typename Solve>
+FlopStats measure(Factor&& factor, Solve&& solve) {
+  FlopStats out;
+  FlopCounter::instance().reset();
+  WallTimer t;
+  auto fct = factor();
+  const double tf = t.seconds();
+  const double fflops = static_cast<double>(FlopCounter::instance().total());
+  FlopCounter::instance().reset();
+  t.reset();
+  solve(fct);
+  const double ts = t.seconds();
+  const double sflops = static_cast<double>(FlopCounter::instance().total());
+  out.factor_gflops = fflops / tf / 1e9;
+  out.solve_gflops = sflops / ts / 1e9;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  const double kappa = 100.0, eta = 100.0, tol = 1e-8;
+  index_t n_hi = args.full ? (1 << 15) : (1 << 14);
+  if (args.max_n > 0) n_hi = args.max_n;
+
+  std::printf("== Fig. 9: GFlop/s, Helmholtz BIE (kappa=eta=100) ==\n");
+  std::printf("%9s  %23s  %23s  %23s  %23s\n", "N", "SerialHODLR fact/solve",
+              "GPU HODLR  fact/solve", "SerBlkSprs fact/solve",
+              "ParBlkSprs fact/solve");
+
+  for (index_t n = 1 << 12; n <= n_hi; n *= 2) {
+    bie::BlobContour contour;
+    bie::ContourDiscretization d = bie::discretize(contour, n);
+    bie::HelmholtzCombinedBIE<C> gen(d, kappa, eta, 6);
+    ClusterTree tree = ClusterTree::uniform(n, 64);
+    BuildOptions bopt;
+    bopt.tol = tol;
+    HodlrMatrix<C> h = HodlrMatrix<C>::build(gen, tree, bopt);
+    PackedHodlr<C> p = PackedHodlr<C>::pack(h);
+    Matrix<C> b = random_matrix<C>(n, 1, 17);
+
+    FactorOptions serial;
+    serial.mode = ExecMode::kSerial;
+    FlopStats s1 = measure(
+        [&] { return HodlrFactorization<C>::factor(p, serial); },
+        [&](HodlrFactorization<C>& f) {
+          Matrix<C> x = to_matrix(b.view());
+          f.solve_inplace(x);
+        });
+    FlopStats s2 = measure(
+        [&] { return HodlrFactorization<C>::factor(p, {}); },
+        [&](HodlrFactorization<C>& f) {
+          Matrix<C> x = to_matrix(b.view());
+          f.solve_inplace(x);
+        });
+    FlopStats s3 = measure(
+        [&] { return BlockSparseLU<C>::factor(build_extended_system(h), {}); },
+        [&](BlockSparseLU<C>& f) { f.solve(b); });
+    typename BlockSparseLU<C>::Options par;
+    par.parallel = true;
+    FlopStats s4 = measure(
+        [&] { return BlockSparseLU<C>::factor(build_extended_system(h), par); },
+        [&](BlockSparseLU<C>& f) { f.solve(b); });
+
+    std::printf(
+        "%9lld  %11.2f %11.2f  %11.2f %11.2f  %11.2f %11.2f  %11.2f %11.2f\n",
+        static_cast<long long>(n), s1.factor_gflops, s1.solve_gflops,
+        s2.factor_gflops, s2.solve_gflops, s3.factor_gflops, s3.solve_gflops,
+        s4.factor_gflops, s4.solve_gflops);
+  }
+  std::printf(
+      "\nShape check vs the paper: the batched (GPU-style) solver sustains\n"
+      "the highest rate and its utilization grows with N; the solve stage is\n"
+      "memory-bound (much lower rate than the factorization) everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+/// Microbenchmarks (google-benchmark) of the batched device engine — the
+/// substrate claims of Sec. III-C: batching many small operations into one
+/// call, the strided fast path, and the stream-mode crossover for small
+/// batches of large problems.
+
+#include <benchmark/benchmark.h>
+
+#include "batched/batched_blas.hpp"
+#include "common/random.hpp"
+
+using namespace hodlrx;
+
+namespace {
+
+struct GemmBatchFixture {
+  std::vector<Matrix<double>> a, b, c;
+  std::vector<ConstMatrixView<double>> av, bv;
+  std::vector<MatrixView<double>> cv;
+
+  GemmBatchFixture(index_t batch, index_t m, index_t n, index_t k) {
+    for (index_t i = 0; i < batch; ++i) {
+      a.push_back(random_matrix<double>(m, k, 100 + i));
+      b.push_back(random_matrix<double>(k, n, 200 + i));
+      c.push_back(Matrix<double>(m, n));
+      av.push_back(a.back());
+      bv.push_back(b.back());
+      cv.push_back(c.back());
+    }
+  }
+};
+
+void BM_GemmLoopOfSmall(benchmark::State& state) {
+  const index_t batch = state.range(0), s = state.range(1);
+  GemmBatchFixture f(batch, s, s, s);
+  for (auto _ : state) {
+    for (index_t i = 0; i < batch; ++i)
+      gemm<double>(Op::N, Op::N, 1.0, f.av[i], f.bv[i], 0.0, f.cv[i]);
+    benchmark::DoNotOptimize(f.c[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void BM_GemmBatched(benchmark::State& state) {
+  const index_t batch = state.range(0), s = state.range(1);
+  GemmBatchFixture f(batch, s, s, s);
+  for (auto _ : state) {
+    gemm_batched<double>(Op::N, Op::N, 1.0, f.av, f.bv, 0.0, f.cv);
+    benchmark::DoNotOptimize(f.c[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void BM_GemmBatchedStream(benchmark::State& state) {
+  const index_t batch = state.range(0), s = state.range(1);
+  GemmBatchFixture f(batch, s, s, s);
+  for (auto _ : state) {
+    gemm_batched<double>(Op::N, Op::N, 1.0, f.av, f.bv, 0.0, f.cv,
+                         BatchPolicy::kForceStream);
+    benchmark::DoNotOptimize(f.c[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void BM_GemmStridedBatched(benchmark::State& state) {
+  const index_t batch = state.range(0), s = state.range(1);
+  Matrix<double> a = random_matrix<double>(s, s * batch, 1);
+  Matrix<double> b = random_matrix<double>(s, s * batch, 2);
+  Matrix<double> c(s, s * batch);
+  for (auto _ : state) {
+    gemm_strided_batched<double>(Op::N, Op::N, s, s, s, 1.0, a.data(), s,
+                                 s * s, b.data(), s, s * s, 0.0, c.data(), s,
+                                 s * s, batch);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void BM_GetrfBatched(benchmark::State& state) {
+  const index_t batch = state.range(0), s = state.range(1);
+  std::vector<Matrix<double>> a0;
+  for (index_t i = 0; i < batch; ++i) {
+    a0.push_back(random_matrix<double>(s, s, 300 + i));
+    for (index_t d = 0; d < s; ++d) a0.back()(d, d) += 4.0;
+  }
+  std::vector<std::vector<index_t>> piv(batch, std::vector<index_t>(s));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Matrix<double>> a = a0;
+    std::vector<MatrixView<double>> av(a.begin(), a.end());
+    std::vector<index_t*> pv;
+    for (auto& pp : piv) pv.push_back(pp.data());
+    state.ResumeTiming();
+    getrf_batched<double>(av, pv);
+    benchmark::DoNotOptimize(a[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+}  // namespace
+
+// Many small problems: batching wins by avoiding per-call overhead.
+BENCHMARK(BM_GemmLoopOfSmall)->Args({256, 24})->Args({1024, 24});
+BENCHMARK(BM_GemmBatched)->Args({256, 24})->Args({1024, 24});
+BENCHMARK(BM_GemmStridedBatched)->Args({256, 24})->Args({1024, 24});
+// Few large problems: stream mode (intra-op threads) wins.
+BENCHMARK(BM_GemmBatched)->Args({2, 512});
+BENCHMARK(BM_GemmBatchedStream)->Args({2, 512});
+BENCHMARK(BM_GetrfBatched)->Args({256, 64});
+
+BENCHMARK_MAIN();

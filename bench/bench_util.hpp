@@ -1,0 +1,148 @@
+#pragma once
+
+#include "common/random.hpp"
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baseline/recursive_solver.hpp"
+#include "common/timer.hpp"
+#include "core/factorization.hpp"
+#include "device/device.hpp"
+#include "sparse/block_lu.hpp"
+
+/// Shared helpers for the paper-table benchmark drivers. Timings follow the
+/// paper's protocol: construction (compression) is NOT included in t_f; the
+/// reported factorization and solution times are averaged over `repeats`
+/// runs; `mem` is the factorization footprint in GB; `relres` is
+/// ||b - A x|| / ||b|| against the HODLR operator.
+
+namespace hodlrx::bench {
+
+struct Args {
+  bool full = false;       ///< paper-scale sweep instead of the default
+  bool low_accuracy = false;
+  index_t max_n = -1;
+  int repeats = 3;
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--full")) a.full = true;
+      else if (!std::strcmp(argv[i], "--low")) a.low_accuracy = true;
+      else if (!std::strcmp(argv[i], "--max-n") && i + 1 < argc)
+        a.max_n = std::atoll(argv[++i]);
+      else if (!std::strcmp(argv[i], "--repeats") && i + 1 < argc)
+        a.repeats = std::atoi(argv[++i]);
+      else
+        std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+    }
+    return a;
+  }
+};
+
+struct SolverStats {
+  double tf = 0;       ///< factorization seconds (averaged)
+  double ts = 0;       ///< single-RHS solution seconds (averaged)
+  double mem_gb = 0;   ///< factorization bytes / 1e9
+  double relres = 0;   ///< ||b - A x|| / ||b|| vs the HODLR operator
+};
+
+inline double gb(std::size_t bytes) { return static_cast<double>(bytes) / 1e9; }
+
+/// relres of x against the HODLR operator.
+template <typename T>
+double hodlr_relres(const HodlrMatrix<T>& h, ConstMatrixView<T> x,
+                    ConstMatrixView<T> b) {
+  Matrix<T> r(h.n(), x.cols);
+  h.apply(x, r.view());
+  axpy(T{-1}, b, r.view());
+  return static_cast<double>(norm_fro<T>(r) / norm_fro<T>(b));
+}
+
+/// Benchmark the packed factorization (serial or batched engine).
+template <typename T>
+SolverStats bench_packed(const HodlrMatrix<T>& h, const PackedHodlr<T>& p,
+                         ExecMode mode, ConstMatrixView<T> b, int repeats) {
+  SolverStats out;
+  FactorOptions opt;
+  opt.mode = mode;
+  Matrix<T> x;
+  for (int rep = 0; rep < repeats; ++rep) {
+    WallTimer t;
+    HodlrFactorization<T> f = HodlrFactorization<T>::factor(p, opt);
+    out.tf += t.seconds();
+    x = to_matrix(b);
+    t.reset();
+    f.solve_inplace(x);
+    out.ts += t.seconds();
+    if (rep == repeats - 1) {
+      out.mem_gb = gb(f.bytes());
+      out.relres = hodlr_relres(h, ConstMatrixView<T>(x), b);
+    }
+  }
+  out.tf /= repeats;
+  out.ts /= repeats;
+  return out;
+}
+
+/// Benchmark the HODLRlib-style recursive solver.
+template <typename T>
+SolverStats bench_recursive(const HodlrMatrix<T>& h, ConstMatrixView<T> b,
+                            int repeats, bool parallel) {
+  SolverStats out;
+  typename RecursiveSolver<T>::Options opt;
+  opt.parallel = parallel;
+  Matrix<T> x;
+  for (int rep = 0; rep < repeats; ++rep) {
+    WallTimer t;
+    RecursiveSolver<T> s = RecursiveSolver<T>::factor(h, opt);
+    out.tf += t.seconds();
+    x = to_matrix(b);
+    t.reset();
+    s.solve_inplace(x);
+    out.ts += t.seconds();
+    if (rep == repeats - 1) {
+      out.mem_gb = gb(s.bytes());
+      out.relres = hodlr_relres(h, ConstMatrixView<T>(x), b);
+    }
+  }
+  out.tf /= repeats;
+  out.ts /= repeats;
+  return out;
+}
+
+/// Benchmark the Ho-Greengard block-sparse solver.
+template <typename T>
+SolverStats bench_block_sparse(const HodlrMatrix<T>& h, ConstMatrixView<T> b,
+                               int repeats, bool parallel) {
+  SolverStats out;
+  typename BlockSparseLU<T>::Options opt;
+  opt.parallel = parallel;
+  Matrix<T> x;
+  for (int rep = 0; rep < repeats; ++rep) {
+    ExtendedSystem<T> sys = build_extended_system(h);
+    WallTimer t;
+    BlockSparseLU<T> lu = BlockSparseLU<T>::factor(std::move(sys), opt);
+    out.tf += t.seconds();
+    t.reset();
+    x = lu.solve(b);
+    out.ts += t.seconds();
+    if (rep == repeats - 1) {
+      out.mem_gb = gb(lu.bytes());
+      out.relres = hodlr_relres(h, ConstMatrixView<T>(x), b);
+    }
+  }
+  out.tf /= repeats;
+  out.ts /= repeats;
+  return out;
+}
+
+inline void print_rank_ladder(const std::vector<index_t>& ladder) {
+  std::printf("    ranks (level 1..leaf):");
+  for (index_t r : ladder) std::printf(" %lld", static_cast<long long>(r));
+  std::printf("\n");
+}
+
+}  // namespace hodlrx::bench

@@ -1,0 +1,15 @@
+#include "baseline/dense_solver.hpp"
+
+// DenseSolver is header-only; this TU pins the library archive and provides
+// explicit instantiations so downstream link units stay lean.
+
+#include <complex>
+
+namespace hodlrx {
+
+template class DenseSolver<float>;
+template class DenseSolver<double>;
+template class DenseSolver<std::complex<float>>;
+template class DenseSolver<std::complex<double>>;
+
+}  // namespace hodlrx

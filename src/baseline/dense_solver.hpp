@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "common/lapack.hpp"
+#include "lowrank/generator.hpp"
+
+/// \file dense_solver.hpp
+/// Classical dense LU solver (the O(N^3) baseline the paper's Sec. I-A
+/// dismisses for large N). Used to validate every fast solver at small N
+/// and to demonstrate the asymptotic crossover in the ablation bench.
+
+namespace hodlrx {
+
+template <typename T>
+class DenseSolver {
+ public:
+  /// Factor a dense matrix copy with partially pivoted LU.
+  static DenseSolver factor(ConstMatrixView<T> a) {
+    DenseSolver s;
+    s.lu_ = to_matrix(a);
+    s.ipiv_.assign(s.lu_.rows(), 0);
+    getrf(s.lu_.view(), s.ipiv_.data());
+    return s;
+  }
+  static DenseSolver factor_generator(const MatrixGenerator<T>& g) {
+    Matrix<T> a = materialize(g);
+    return factor(ConstMatrixView<T>(a));
+  }
+
+  void solve_inplace(MatrixView<T> b) const {
+    getrs<T>(lu_, ipiv_.data(), b);
+  }
+  Matrix<T> solve(ConstMatrixView<T> b) const {
+    Matrix<T> x = to_matrix(b);
+    solve_inplace(x);
+    return x;
+  }
+
+  index_t n() const { return lu_.rows(); }
+  std::size_t bytes() const {
+    return lu_.bytes() + ipiv_.size() * sizeof(index_t);
+  }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<index_t> ipiv_;
+};
+
+}  // namespace hodlrx

@@ -1,0 +1,173 @@
+#include "batched/batched_blas.hpp"
+
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "device/device.hpp"
+
+namespace hodlrx {
+
+namespace {
+
+bool use_stream_mode(BatchPolicy policy, index_t batch) {
+  switch (policy) {
+    case BatchPolicy::kForceBatched: return false;
+    case BatchPolicy::kForceStream: return true;
+    case BatchPolicy::kAuto: return batch < static_cast<index_t>(max_threads());
+  }
+  return false;
+}
+
+/// Parallel triangular solve for one problem: split the RHS columns into one
+/// chunk per thread (columns are independent given the LU factors).
+template <typename T, typename Solve1>
+void solve_columns_parallel(MatrixView<T> b, Solve1&& solve_chunk) {
+  const index_t nchunks =
+      std::min<index_t>(max_threads(), std::max<index_t>(b.cols, 1));
+  parallel_for_static(nchunks, [&](index_t t) {
+    const index_t j0 = t * b.cols / nchunks;
+    const index_t j1 = (t + 1) * b.cols / nchunks;
+    if (j1 > j0) solve_chunk(b.cols_range(j0, j1 - j0));
+  });
+}
+
+}  // namespace
+
+template <typename T>
+void gemm_batched(Op opa, Op opb, T alpha,
+                  std::span<const ConstMatrixView<T>> a,
+                  std::span<const ConstMatrixView<T>> b, T beta,
+                  std::span<const MatrixView<T>> c, BatchPolicy policy) {
+  const index_t batch = static_cast<index_t>(c.size());
+  HODLRX_REQUIRE(a.size() == c.size() && b.size() == c.size(),
+                 "gemm_batched: inconsistent batch sizes");
+  if (batch == 0) return;
+  DeviceContext::global().record_launch();
+  if (use_stream_mode(policy, batch)) {
+    for (index_t i = 0; i < batch; ++i)
+      gemm_parallel(opa, opb, alpha, a[i], b[i], beta, c[i]);
+  } else {
+    parallel_for_static(batch, [&](index_t i) {
+      gemm(opa, opb, alpha, a[i], b[i], beta, c[i]);
+    });
+  }
+}
+
+template <typename T>
+void gemm_strided_batched(Op opa, Op opb, index_t m, index_t n, index_t k,
+                          T alpha, const T* a, index_t lda, index_t stride_a,
+                          const T* b, index_t ldb, index_t stride_b, T beta,
+                          T* c, index_t ldc, index_t stride_c, index_t batch,
+                          BatchPolicy policy) {
+  if (batch == 0 || m == 0 || n == 0) return;
+  DeviceContext::global().record_launch();
+  const index_t ar = (opa == Op::N) ? m : k, ac = (opa == Op::N) ? k : m;
+  const index_t br = (opb == Op::N) ? k : n, bc = (opb == Op::N) ? n : k;
+  auto run = [&](index_t i, bool threaded) {
+    ConstMatrixView<T> ai(a + i * stride_a, ar, ac, lda);
+    ConstMatrixView<T> bi(b + i * stride_b, br, bc, ldb);
+    MatrixView<T> ci{c + i * stride_c, m, n, ldc};
+    if (threaded)
+      gemm_parallel(opa, opb, alpha, ai, bi, beta, ci);
+    else
+      gemm(opa, opb, alpha, ai, bi, beta, ci);
+  };
+  if (use_stream_mode(policy, batch)) {
+    for (index_t i = 0; i < batch; ++i) run(i, true);
+  } else {
+    parallel_for_static(batch, [&](index_t i) { run(i, false); });
+  }
+}
+
+template <typename T>
+void getrf_batched(std::span<const MatrixView<T>> a,
+                   std::span<index_t* const> ipiv, BatchPolicy policy) {
+  HODLRX_REQUIRE(a.size() == ipiv.size(), "getrf_batched: batch mismatch");
+  const index_t batch = static_cast<index_t>(a.size());
+  if (batch == 0) return;
+  DeviceContext::global().record_launch();
+  (void)policy;  // LU panels are processed per-problem in either mode.
+  parallel_for_static(batch, [&](index_t i) { getrf(a[i], ipiv[i]); });
+}
+
+template <typename T>
+void getrf_nopivot_batched(std::span<const MatrixView<T>> a,
+                           BatchPolicy policy) {
+  const index_t batch = static_cast<index_t>(a.size());
+  if (batch == 0) return;
+  DeviceContext::global().record_launch();
+  (void)policy;
+  parallel_for_static(batch, [&](index_t i) { getrf_nopivot(a[i]); });
+}
+
+template <typename T>
+void getrs_batched(std::span<const ConstMatrixView<T>> lu,
+                   std::span<const index_t* const> ipiv,
+                   std::span<const MatrixView<T>> b, BatchPolicy policy) {
+  HODLRX_REQUIRE(lu.size() == b.size() && ipiv.size() == b.size(),
+                 "getrs_batched: batch mismatch");
+  const index_t batch = static_cast<index_t>(b.size());
+  if (batch == 0) return;
+  DeviceContext::global().record_launch();
+  if (use_stream_mode(policy, batch)) {
+    for (index_t i = 0; i < batch; ++i) {
+      solve_columns_parallel<T>(b[i], [&](MatrixView<T> chunk) {
+        getrs(lu[i], ipiv[i], chunk);
+      });
+    }
+  } else {
+    parallel_for_static(batch,
+                        [&](index_t i) { getrs(lu[i], ipiv[i], b[i]); });
+  }
+}
+
+template <typename T>
+void getrs_nopivot_batched(std::span<const ConstMatrixView<T>> lu,
+                           std::span<const MatrixView<T>> b,
+                           BatchPolicy policy) {
+  HODLRX_REQUIRE(lu.size() == b.size(), "getrs_nopivot_batched: batch mismatch");
+  const index_t batch = static_cast<index_t>(b.size());
+  if (batch == 0) return;
+  DeviceContext::global().record_launch();
+  if (use_stream_mode(policy, batch)) {
+    for (index_t i = 0; i < batch; ++i) {
+      solve_columns_parallel<T>(b[i], [&](MatrixView<T> chunk) {
+        getrs_nopivot(lu[i], chunk);
+      });
+    }
+  } else {
+    parallel_for_static(batch,
+                        [&](index_t i) { getrs_nopivot(lu[i], b[i]); });
+  }
+}
+
+#define HODLRX_INSTANTIATE_BATCHED(T)                                        \
+  template void gemm_batched<T>(Op, Op, T,                                   \
+                                std::span<const ConstMatrixView<T>>,         \
+                                std::span<const ConstMatrixView<T>>, T,      \
+                                std::span<const MatrixView<T>>, BatchPolicy);\
+  template void gemm_strided_batched<T>(                                     \
+      Op, Op, index_t, index_t, index_t, T, const T*, index_t, index_t,      \
+      const T*, index_t, index_t, T, T*, index_t, index_t, index_t,          \
+      BatchPolicy);                                                          \
+  template void getrf_batched<T>(std::span<const MatrixView<T>>,             \
+                                 std::span<index_t* const>, BatchPolicy);    \
+  template void getrf_nopivot_batched<T>(std::span<const MatrixView<T>>,     \
+                                         BatchPolicy);                       \
+  template void getrs_batched<T>(std::span<const ConstMatrixView<T>>,        \
+                                 std::span<const index_t* const>,            \
+                                 std::span<const MatrixView<T>>,             \
+                                 BatchPolicy);                               \
+  template void getrs_nopivot_batched<T>(std::span<const ConstMatrixView<T>>,\
+                                         std::span<const MatrixView<T>>,     \
+                                         BatchPolicy);
+
+HODLRX_INSTANTIATE_BATCHED(float)
+HODLRX_INSTANTIATE_BATCHED(double)
+HODLRX_INSTANTIATE_BATCHED(std::complex<float>)
+HODLRX_INSTANTIATE_BATCHED(std::complex<double>)
+
+#undef HODLRX_INSTANTIATE_BATCHED
+
+}  // namespace hodlrx

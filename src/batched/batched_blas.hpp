@@ -1,0 +1,76 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/blas.hpp"
+#include "common/lapack.hpp"
+
+/// \file batched_blas.hpp
+/// Batched dense linear algebra — the project's stand-in for the cuBLAS
+/// routines the paper builds on (`gemmBatched`, `gemmStridedBatched`,
+/// `getrfBatched`, `getrsBatched`).
+///
+/// Semantics mirror cuBLAS: every call is ONE device "kernel launch"
+/// (recorded on the DeviceContext) that processes `batch` independent
+/// problems. Execution is an OpenMP thread pool:
+///   - large batches -> one thread per problem ("batched kernel");
+///   - small batches of large problems -> problems run with intra-problem
+///     parallelism ("stream mode", the paper's CUDA-streams optimization for
+///     the top tree levels).
+/// The pointer-array interface generalizes cuBLAS slightly by allowing
+/// per-problem shapes; the strided interface requires uniform shapes, like
+/// the real `gemmStridedBatched`.
+
+namespace hodlrx {
+
+/// How a batched call maps onto the thread pool.
+enum class BatchPolicy {
+  kAuto,          ///< stream mode when batch < #threads, else batched
+  kForceBatched,  ///< always one-thread-per-problem
+  kForceStream,   ///< always sequential problems with intra-problem threads
+};
+
+/// C_i = alpha * op(A_i) * op(B_i) + beta * C_i for each problem i.
+template <typename T>
+void gemm_batched(Op opa, Op opb, T alpha,
+                  std::span<const ConstMatrixView<T>> a,
+                  std::span<const ConstMatrixView<T>> b, T beta,
+                  std::span<const MatrixView<T>> c,
+                  BatchPolicy policy = BatchPolicy::kAuto);
+
+/// Uniform-shape strided batch: problem i uses a + i*stride_a etc.
+/// This is the fast path enabled by the paper's constant-rank padding.
+template <typename T>
+void gemm_strided_batched(Op opa, Op opb, index_t m, index_t n, index_t k,
+                          T alpha, const T* a, index_t lda, index_t stride_a,
+                          const T* b, index_t ldb, index_t stride_b, T beta,
+                          T* c, index_t ldc, index_t stride_c, index_t batch,
+                          BatchPolicy policy = BatchPolicy::kAuto);
+
+/// In-place batched LU with partial pivoting; `ipiv[i]` must point at
+/// storage for a.size() pivots of problem i (length = a_i.rows).
+template <typename T>
+void getrf_batched(std::span<const MatrixView<T>> a,
+                   std::span<index_t* const> ipiv,
+                   BatchPolicy policy = BatchPolicy::kAuto);
+
+/// In-place batched LU without pivoting (identity-diagonal K variant).
+template <typename T>
+void getrf_nopivot_batched(std::span<const MatrixView<T>> a,
+                           BatchPolicy policy = BatchPolicy::kAuto);
+
+/// Batched triangular solve from getrf output: B_i <- A_i^{-1} B_i.
+template <typename T>
+void getrs_batched(std::span<const ConstMatrixView<T>> lu,
+                   std::span<const index_t* const> ipiv,
+                   std::span<const MatrixView<T>> b,
+                   BatchPolicy policy = BatchPolicy::kAuto);
+
+/// Batched triangular solve without pivoting.
+template <typename T>
+void getrs_nopivot_batched(std::span<const ConstMatrixView<T>> lu,
+                           std::span<const MatrixView<T>> b,
+                           BatchPolicy policy = BatchPolicy::kAuto);
+
+}  // namespace hodlrx

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/config.hpp"
+#include "tree/points.hpp"
+
+/// \file contour.hpp
+/// Smooth closed contours in the plane and their periodic discretizations.
+/// The paper's Fig. 6 shows a smooth wavy blob spanning about
+/// [-2, 2] x [-1.5, 1.5]; the exact parametrization is not given, so we use
+/// an analytic trigonometric blob with the same extents (documented in
+/// DESIGN.md). All geometric quantities (tangent, normal, speed, curvature)
+/// are analytic — no finite differences.
+
+namespace hodlrx::bie {
+
+struct Point2 {
+  double x = 0, y = 0;
+};
+
+inline double dist(Point2 a, Point2 b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// A smooth closed curve gamma(t), t in [0, 2pi), traversed
+/// counterclockwise, with analytic first and second derivatives.
+class Contour {
+ public:
+  virtual ~Contour() = default;
+  virtual Point2 point(double t) const = 0;
+  virtual Point2 dpoint(double t) const = 0;   ///< gamma'(t)
+  virtual Point2 ddpoint(double t) const = 0;  ///< gamma''(t)
+
+  double speed(double t) const {
+    const Point2 d = dpoint(t);
+    return std::hypot(d.x, d.y);
+  }
+  /// Outward unit normal (CCW traversal: n = (y', -x') / |gamma'|).
+  Point2 normal(double t) const {
+    const Point2 d = dpoint(t);
+    const double s = std::hypot(d.x, d.y);
+    return {d.y / s, -d.x / s};
+  }
+  /// Signed curvature (positive for a convex CCW curve).
+  double curvature(double t) const {
+    const Point2 d = dpoint(t), dd = ddpoint(t);
+    const double s = std::hypot(d.x, d.y);
+    return (d.x * dd.y - d.y * dd.x) / (s * s * s);
+  }
+};
+
+/// r(t) = (1 + amp*cos(lobes*t)) scaled onto an (a x b) ellipse — the
+/// Fig. 6 analogue. Defaults span [-2.3, 2.3] x [-1.7, 1.7].
+class BlobContour final : public Contour {
+ public:
+  explicit BlobContour(double a = 2.0, double b = 1.5, double amp = 0.15,
+                       int lobes = 5)
+      : a_(a), b_(b), amp_(amp), lobes_(lobes) {}
+
+  Point2 point(double t) const override {
+    const double r = rho(t);
+    return {a_ * r * std::cos(t), b_ * r * std::sin(t)};
+  }
+  Point2 dpoint(double t) const override {
+    const double r = rho(t), dr = drho(t);
+    return {a_ * (dr * std::cos(t) - r * std::sin(t)),
+            b_ * (dr * std::sin(t) + r * std::cos(t))};
+  }
+  Point2 ddpoint(double t) const override {
+    const double r = rho(t), dr = drho(t), ddr = ddrho(t);
+    return {a_ * (ddr * std::cos(t) - 2 * dr * std::sin(t) - r * std::cos(t)),
+            b_ * (ddr * std::sin(t) + 2 * dr * std::cos(t) - r * std::sin(t))};
+  }
+
+ private:
+  double rho(double t) const { return 1.0 + amp_ * std::cos(lobes_ * t); }
+  double drho(double t) const { return -amp_ * lobes_ * std::sin(lobes_ * t); }
+  double ddrho(double t) const {
+    return -amp_ * lobes_ * lobes_ * std::cos(lobes_ * t);
+  }
+  double a_, b_, amp_;
+  int lobes_;
+};
+
+/// A circle of radius R (analytic solutions exist: used heavily by tests).
+class CircleContour final : public Contour {
+ public:
+  explicit CircleContour(double radius = 1.0) : r_(radius) {}
+  Point2 point(double t) const override {
+    return {r_ * std::cos(t), r_ * std::sin(t)};
+  }
+  Point2 dpoint(double t) const override {
+    return {-r_ * std::sin(t), r_ * std::cos(t)};
+  }
+  Point2 ddpoint(double t) const override {
+    return {-r_ * std::cos(t), -r_ * std::sin(t)};
+  }
+
+ private:
+  double r_;
+};
+
+/// Equispaced-parameter discretization of a contour: nodes, derivatives,
+/// normals, speeds, curvatures, and the trapezoidal arc-length weights
+/// h * |gamma'(t_j)| (h = 2pi/N).
+struct ContourDiscretization {
+  index_t n = 0;
+  double h = 0;  ///< parameter spacing 2pi/N
+  std::vector<double> t;
+  std::vector<Point2> x;       ///< node positions
+  std::vector<Point2> nrm;     ///< outward unit normals
+  std::vector<double> speed;   ///< |gamma'(t_j)|
+  std::vector<double> kappa;   ///< signed curvature
+  std::vector<double> weight;  ///< h * speed (trapezoid arc-length weight)
+
+  /// PointSet over the node coordinates (for cluster-tree construction;
+  /// parameter order already gives 1-D locality along the curve).
+  PointSet points() const {
+    PointSet p(2, n);
+    for (index_t i = 0; i < n; ++i) {
+      p.coord(i, 0) = x[i].x;
+      p.coord(i, 1) = x[i].y;
+    }
+    return p;
+  }
+};
+
+ContourDiscretization discretize(const Contour& contour, index_t n);
+
+}  // namespace hodlrx::bie

@@ -1,0 +1,45 @@
+#include "bie/helmholtz.hpp"
+
+namespace hodlrx::bie {
+
+std::complex<double> helmholtz_fundamental(double kappa, Point2 x, Point2 x0) {
+  return 0.25 * std::complex<double>(0.0, 1.0) *
+         hankel1_0(kappa * dist(x, x0));
+}
+
+template <typename T>
+std::vector<T> helmholtz_potential(const ContourDiscretization& disc,
+                                   double kappa, double eta, const T* sigma,
+                                   const std::vector<Point2>& targets) {
+  const std::complex<double> ii(0.0, 1.0);
+  std::vector<T> u(targets.size(), T{});
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const Point2 x = targets[t];
+    std::complex<double> acc = 0;
+    for (index_t j = 0; j < disc.n; ++j) {
+      const double dx = x.x - disc.x[j].x;
+      const double dy = x.y - disc.x[j].y;
+      const double r = std::hypot(dx, dy);
+      const std::complex<double> s = 0.25 * ii * hankel1_0(kappa * r);
+      const double ndotr = disc.nrm[j].x * dx + disc.nrm[j].y * dy;
+      const std::complex<double> d =
+          0.25 * ii * kappa * hankel1_1(kappa * r) * (ndotr / r);
+      acc += disc.weight[j] * (d + ii * eta * s) *
+             static_cast<std::complex<double>>(sigma[j]);
+    }
+    u[t] = static_cast<T>(acc);
+  }
+  return u;
+}
+
+template class HelmholtzCombinedBIE<std::complex<float>>;
+template class HelmholtzCombinedBIE<std::complex<double>>;
+
+template std::vector<std::complex<float>> helmholtz_potential(
+    const ContourDiscretization&, double, double, const std::complex<float>*,
+    const std::vector<Point2>&);
+template std::vector<std::complex<double>> helmholtz_potential(
+    const ContourDiscretization&, double, double, const std::complex<double>*,
+    const std::vector<Point2>&);
+
+}  // namespace hodlrx::bie

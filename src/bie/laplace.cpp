@@ -1,0 +1,48 @@
+#include "bie/laplace.hpp"
+
+#include <cmath>
+
+namespace hodlrx::bie {
+
+namespace {
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+}
+
+double laplace_greens(Point2 x, Point2 x0) {
+  return -std::log(dist(x, x0)) / kTwoPi;
+}
+
+template <typename T>
+std::vector<T> laplace_exterior_potential(const ContourDiscretization& disc,
+                                          Point2 z, const T* sigma,
+                                          const std::vector<Point2>& targets) {
+  std::vector<T> u(targets.size(), T{});
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const Point2 x = targets[t];
+    double acc = 0;
+    const double completion = -std::log(dist(x, z)) / kTwoPi;
+    for (index_t j = 0; j < disc.n; ++j) {
+      const double dx = x.x - disc.x[j].x;
+      const double dy = x.y - disc.x[j].y;
+      const double r2 = dx * dx + dy * dy;
+      const double d = (disc.nrm[j].x * dx + disc.nrm[j].y * dy) /
+                       (kTwoPi * r2);
+      acc += disc.weight[j] * (d + completion) *
+             static_cast<double>(sigma[j]);
+    }
+    u[t] = static_cast<T>(acc);
+  }
+  return u;
+}
+
+template class LaplaceExteriorBIE<float>;
+template class LaplaceExteriorBIE<double>;
+
+template std::vector<float> laplace_exterior_potential<float>(
+    const ContourDiscretization&, Point2, const float*,
+    const std::vector<Point2>&);
+template std::vector<double> laplace_exterior_potential<double>(
+    const ContourDiscretization&, Point2, const double*,
+    const std::vector<Point2>&);
+
+}  // namespace hodlrx::bie

@@ -1,0 +1,55 @@
+#include "bie/quadrature.hpp"
+
+#include "common/error.hpp"
+
+namespace hodlrx::bie {
+
+const std::vector<double>& kapur_rokhlin_weights(int order) {
+  // Kapur & Rokhlin (1997), corrected trapezoidal rules for integrands with
+  // a log singularity at the excluded node; the same tables appear in Hao,
+  // Barnett, Martinsson & Young (Adv. Comput. Math. 2014) and in Alex
+  // Barnett's BIE2D (quadr.m).
+  static const std::vector<double> g2 = {
+      1.825748064736159e0,
+      -1.325748064736159e0,
+  };
+  static const std::vector<double> g6 = {
+      4.967362978287758e0,
+      -1.620501504859126e1,
+      2.585153761832639e1,
+      -2.222599466791883e1,
+      9.930104998037539e0,
+      -1.817995878141594e0,
+  };
+  static const std::vector<double> g10 = {
+      7.832432020568779e0,
+      -4.565161670374749e1,
+      1.452168846354677e2,
+      -2.901348302886379e2,
+      3.870862162579900e2,
+      -3.523821383570681e2,
+      2.172421547519342e2,
+      -8.707796087382991e1,
+      2.053584266072635e1,
+      -2.166984103403823e0,
+  };
+  switch (order) {
+    case 2: return g2;
+    case 6: return g6;
+    case 10: return g10;
+    default:
+      HODLRX_REQUIRE(false, "Kapur-Rokhlin weights available for orders "
+                            "2, 6, 10; got " << order);
+  }
+  return g2;  // unreachable
+}
+
+KapurRokhlinRule::KapurRokhlinRule(int order, index_t n)
+    : order_(order), n_(n), gamma_(kapur_rokhlin_weights(order)) {
+  stencil_ = static_cast<index_t>(gamma_.size());
+  HODLRX_REQUIRE(n > 2 * stencil_,
+                 "KapurRokhlinRule: grid too coarse (n=" << n << ", stencil="
+                                                         << stencil_ << ")");
+}
+
+}  // namespace hodlrx::bie

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/config.hpp"
+
+/// \file quadrature.hpp
+/// Quadrature rules for periodic boundary integrals:
+///   - the plain periodic trapezoidal rule (spectrally accurate for smooth
+///     integrands; the paper's "2nd-order" Laplace discretization uses it
+///     on the completed double-layer kernel, which is smooth);
+///   - Kapur-Rokhlin corrected trapezoidal rules of order 2, 6, and 10 for
+///     integrands with a logarithmic singularity at the target node (the
+///     paper's Sec. IV-C uses the 6th-order rule for the Helmholtz BIE).
+///
+/// The K-R rule of order m replaces the weights of the `k(m)` neighbors on
+/// each side of the singular node by h*(1 + gamma_j) and EXCLUDES the
+/// singular node itself:
+///   int f ~= h * sum_{j != i} f(t_j) + h * sum_{j=1..k} gamma_j
+///            (f(t_{i+j}) + f(t_{i-j})).
+
+namespace hodlrx::bie {
+
+/// Correction weights gamma_1..gamma_k for the given order (2, 6, or 10),
+/// from Kapur & Rokhlin, SIAM J. Numer. Anal. 34 (1997), Table 6.
+const std::vector<double>& kapur_rokhlin_weights(int order);
+
+/// Full weight multiplier for matrix entry (target i, source j) on an
+/// n-periodic grid: 0 at j == i, 1 + gamma_{|d|} within the correction
+/// stencil (|d| = periodic distance), 1 elsewhere. The arc-length factor
+/// h * |gamma'(t_j)| is applied separately by the caller.
+class KapurRokhlinRule {
+ public:
+  KapurRokhlinRule(int order, index_t n);
+
+  double multiplier(index_t i, index_t j) const {
+    if (i == j) return 0.0;
+    index_t d = i > j ? i - j : j - i;
+    d = std::min(d, n_ - d);  // periodic distance
+    return d <= stencil_ ? 1.0 + gamma_[d - 1] : 1.0;
+  }
+  index_t stencil() const { return stencil_; }
+  int order() const { return order_; }
+
+ private:
+  int order_;
+  index_t n_;
+  index_t stencil_;
+  std::vector<double> gamma_;
+};
+
+}  // namespace hodlrx::bie

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <complex>
+
+/// \file special.hpp
+/// Bessel and Hankel functions for the Helmholtz kernels.
+///
+/// J0/J1 use fast Cephes-style rational + asymptotic approximations
+/// (validated against libstdc++'s std::cyl_bessel_j in the test suite);
+/// Y0/Y1 delegate to std::cyl_neumann, which is fully accurate. The
+/// asymptotic branches share the amplitude/phase expansions, so the Hankel
+/// combinations used by the BIE kernels stay consistent.
+
+namespace hodlrx::bie {
+
+double bessel_j0(double x);
+double bessel_j1(double x);
+double bessel_y0(double x);  ///< x > 0
+double bessel_y1(double x);  ///< x > 0
+
+/// Hankel functions of the first kind, H_n^(1)(x) = J_n(x) + i Y_n(x).
+std::complex<double> hankel1_0(double x);
+std::complex<double> hankel1_1(double x);
+
+}  // namespace hodlrx::bie

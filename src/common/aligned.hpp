@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdlib>
+#include <new>
+
+#include "common/config.hpp"
+
+/// \file aligned.hpp
+/// A minimal 64-byte-aligned allocator so matrix columns start on cache-line
+/// boundaries (predictable memory access; SIMD-friendly loads).
+
+namespace hodlrx {
+
+template <typename T, std::size_t Align = kAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new[](n * sizeof(T), std::align_val_t(Align));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete[](p, std::align_val_t(Align));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace hodlrx

@@ -1,0 +1,256 @@
+#include "common/blas.hpp"
+
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/flops.hpp"
+#include "common/parallel.hpp"
+
+namespace hodlrx {
+
+namespace {
+
+/// C = alpha*A*B + beta*C with A (m x k), B (k x n), all column-major.
+/// Blocked over rows of C so the active panel of A stays cache-resident;
+/// the inner axpy runs down contiguous columns and vectorizes.
+template <typename T>
+void gemm_nn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+             MatrixView<T> c) {
+  const index_t m = c.rows, n = c.cols, k = a.cols;
+  constexpr index_t kRowBlock = 768;
+  for (index_t ii = 0; ii < m; ii += kRowBlock) {
+    const index_t mb = std::min(kRowBlock, m - ii);
+    for (index_t j = 0; j < n; ++j) {
+      T* __restrict__ cj = c.data + ii + j * c.ld;
+      if (beta == T{}) {
+        for (index_t i = 0; i < mb; ++i) cj[i] = T{};
+      } else if (beta != T{1}) {
+        for (index_t i = 0; i < mb; ++i) cj[i] *= beta;
+      }
+      for (index_t l = 0; l < k; ++l) {
+        const T blj = alpha * b.data[l + j * b.ld];
+        if (blj == T{}) continue;
+        const T* __restrict__ al = a.data + ii + l * a.ld;
+        for (index_t i = 0; i < mb; ++i) cj[i] += al[i] * blj;
+      }
+    }
+  }
+}
+
+/// C = alpha*op(A)*B + beta*C with op in {T, C}: inner products down
+/// contiguous columns of A and B. Partial sums break the dependence chain.
+template <typename T>
+void gemm_tn(bool conjugate, T alpha, ConstMatrixView<T> a,
+             ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  const index_t m = c.rows, n = c.cols, k = a.rows;
+  for (index_t j = 0; j < n; ++j) {
+    const T* __restrict__ bj = b.data + j * b.ld;
+    for (index_t i = 0; i < m; ++i) {
+      const T* __restrict__ ai = a.data + i * a.ld;
+      T s0{}, s1{}, s2{}, s3{};
+      index_t l = 0;
+      for (; l + 4 <= k; l += 4) {
+        if (conjugate) {
+          s0 += conj_s(ai[l]) * bj[l];
+          s1 += conj_s(ai[l + 1]) * bj[l + 1];
+          s2 += conj_s(ai[l + 2]) * bj[l + 2];
+          s3 += conj_s(ai[l + 3]) * bj[l + 3];
+        } else {
+          s0 += ai[l] * bj[l];
+          s1 += ai[l + 1] * bj[l + 1];
+          s2 += ai[l + 2] * bj[l + 2];
+          s3 += ai[l + 3] * bj[l + 3];
+        }
+      }
+      for (; l < k; ++l) s0 += (conjugate ? conj_s(ai[l]) : ai[l]) * bj[l];
+      const T dot = (s0 + s1) + (s2 + s3);
+      T& cij = c.data[i + j * c.ld];
+      cij = (beta == T{}) ? alpha * dot : alpha * dot + beta * cij;
+    }
+  }
+}
+
+/// Generic fallback for the remaining op combinations (rare paths: tests,
+/// low-rank reconstruction U*V^C). Element accessor indirection is fine
+/// there.
+template <typename T>
+void gemm_generic(Op opa, Op opb, T alpha, ConstMatrixView<T> a,
+                  ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  const index_t m = c.rows, n = c.cols, k = op_cols(opa, a);
+  auto at = [&](index_t i, index_t l) -> T {
+    switch (opa) {
+      case Op::N: return a(i, l);
+      case Op::T: return a(l, i);
+      default: return conj_s(a(l, i));
+    }
+  };
+  auto bt = [&](index_t l, index_t j) -> T {
+    switch (opb) {
+      case Op::N: return b(l, j);
+      case Op::T: return b(j, l);
+      default: return conj_s(b(j, l));
+    }
+  };
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) {
+      T s{};
+      for (index_t l = 0; l < k; ++l) s += at(i, l) * bt(l, j);
+      T& cij = c(i, j);
+      cij = (beta == T{}) ? alpha * s : alpha * s + beta * cij;
+    }
+}
+
+template <typename T>
+void gemm_dispatch(Op opa, Op opb, T alpha, ConstMatrixView<T> a,
+                   ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  if (opa == Op::N && opb == Op::N) {
+    gemm_nn(alpha, a, b, beta, c);
+  } else if (opa != Op::N && opb == Op::N) {
+    const bool conjugate = (opa == Op::C) && is_complex_v<T>;
+    gemm_tn(conjugate, alpha, a, b, beta, c);
+  } else {
+    gemm_generic(opa, opb, alpha, a, b, beta, c);
+  }
+}
+
+template <typename T>
+void check_gemm_shapes(Op opa, Op opb, ConstMatrixView<T> a,
+                       ConstMatrixView<T> b, MatrixView<T> c) {
+  HODLRX_REQUIRE(op_rows(opa, a) == c.rows && op_cols(opb, b) == c.cols &&
+                     op_cols(opa, a) == op_rows(opb, b),
+                 "gemm: shape mismatch op(A)=" << op_rows(opa, a) << "x"
+                                               << op_cols(opa, a) << " op(B)="
+                                               << op_rows(opb, b) << "x"
+                                               << op_cols(opb, b) << " C="
+                                               << c.rows << "x" << c.cols);
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(Op opa, Op opb, T alpha, NoDeduce<ConstMatrixView<T>> a,
+          NoDeduce<ConstMatrixView<T>> b, T beta, MatrixView<T> c) {
+  check_gemm_shapes(opa, opb, a, b, c);
+  if (c.rows == 0 || c.cols == 0) return;
+  const index_t k = op_cols(opa, a);
+  if (k == 0) {
+    if (beta == T{}) {
+      for (index_t j = 0; j < c.cols; ++j)
+        for (index_t i = 0; i < c.rows; ++i) c(i, j) = T{};
+    } else if (beta != T{1}) {
+      scale_inplace(beta, c);
+    }
+    return;
+  }
+  gemm_dispatch(opa, opb, alpha, a, b, beta, c);
+  FlopCounter::instance().add(FlopCounter::kGemm,
+                              FlopCounter::gemm_flops<T>(c.rows, c.cols, k));
+}
+
+template <typename T>
+void gemm_parallel(Op opa, Op opb, T alpha, NoDeduce<ConstMatrixView<T>> a,
+                   NoDeduce<ConstMatrixView<T>> b, T beta, MatrixView<T> c) {
+  check_gemm_shapes(opa, opb, a, b, c);
+  if (c.rows == 0 || c.cols == 0) return;
+  const int nt = max_threads();
+  if (nt <= 1 || c.cols == 1 || in_parallel()) {
+    gemm(opa, opb, alpha, a, b, beta, c);
+    return;
+  }
+  // Split columns of C (and the matching columns/rows of op(B)) into one
+  // chunk per thread; each chunk is an independent gemm.
+  const index_t nchunks = std::min<index_t>(nt, c.cols);
+  parallel_for_static(nchunks, [&](index_t t) {
+    const index_t j0 = t * c.cols / nchunks;
+    const index_t j1 = (t + 1) * c.cols / nchunks;
+    if (j1 == j0) return;
+    ConstMatrixView<T> bs = (opb == Op::N)
+                                ? b.cols_range(j0, j1 - j0)
+                                : b.rows_range(j0, j1 - j0);
+    gemm(opa, opb, alpha, a, bs, beta, c.cols_range(j0, j1 - j0));
+  });
+}
+
+template <typename T>
+void gemv(Op opa, T alpha, NoDeduce<ConstMatrixView<T>> a, const T* x,
+          T beta, T* y) {
+  const index_t m = op_rows(opa, a);
+  const index_t k = op_cols(opa, a);
+  ConstMatrixView<T> xv(x, k, 1, k);
+  MatrixView<T> yv(const_cast<T*>(y), m, 1, m);
+  gemm(opa, Op::N, alpha, a, xv, beta, yv);
+}
+
+template <typename T>
+void scale_inplace(T alpha, MatrixView<T> x) {
+  for (index_t j = 0; j < x.cols; ++j) {
+    T* __restrict__ xj = x.data + j * x.ld;
+    for (index_t i = 0; i < x.rows; ++i) xj[i] *= alpha;
+  }
+}
+
+template <typename T>
+void axpy(T alpha, NoDeduce<ConstMatrixView<T>> x, MatrixView<T> y) {
+  HODLRX_REQUIRE(x.rows == y.rows && x.cols == y.cols, "axpy: shape mismatch");
+  for (index_t j = 0; j < x.cols; ++j) {
+    const T* __restrict__ xj = x.data + j * x.ld;
+    T* __restrict__ yj = y.data + j * y.ld;
+    for (index_t i = 0; i < x.rows; ++i) yj[i] += alpha * xj[i];
+  }
+}
+
+template <typename T>
+real_t<T> norm_fro(ConstMatrixView<T> a) {
+  real_t<T> s{};
+  for (index_t j = 0; j < a.cols; ++j) {
+    const T* __restrict__ aj = a.data + j * a.ld;
+    for (index_t i = 0; i < a.rows; ++i) s += abs2_s(aj[i]);
+  }
+  return std::sqrt(s);
+}
+
+template <typename T>
+real_t<T> norm_max(ConstMatrixView<T> a) {
+  real_t<T> s{};
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i) s = std::max(s, abs_s(a(i, j)));
+  return s;
+}
+
+template <typename T>
+real_t<T> norm2(const T* x, index_t n) {
+  real_t<T> s{};
+  for (index_t i = 0; i < n; ++i) s += abs2_s(x[i]);
+  return std::sqrt(s);
+}
+
+template <typename T>
+T dotc(const T* x, const T* y, index_t n) {
+  T s{};
+  for (index_t i = 0; i < n; ++i) s += conj_s(x[i]) * y[i];
+  return s;
+}
+
+#define HODLRX_INSTANTIATE_BLAS(T)                                           \
+  template void gemm<T>(Op, Op, T, NoDeduce<ConstMatrixView<T>>,            \
+                        NoDeduce<ConstMatrixView<T>>, T, MatrixView<T>);     \
+  template void gemm_parallel<T>(Op, Op, T, NoDeduce<ConstMatrixView<T>>,    \
+                                 NoDeduce<ConstMatrixView<T>>, T,            \
+                                 MatrixView<T>);                             \
+  template void gemv<T>(Op, T, NoDeduce<ConstMatrixView<T>>, const T*, T,    \
+                        T*);                                                 \
+  template void scale_inplace<T>(T, MatrixView<T>);                          \
+  template void axpy<T>(T, NoDeduce<ConstMatrixView<T>>, MatrixView<T>);    \
+  template real_t<T> norm_fro<T>(ConstMatrixView<T>);                        \
+  template real_t<T> norm_max<T>(ConstMatrixView<T>);                        \
+  template real_t<T> norm2<T>(const T*, index_t);                            \
+  template T dotc<T>(const T*, const T*, index_t);
+
+HODLRX_INSTANTIATE_BLAS(float)
+HODLRX_INSTANTIATE_BLAS(double)
+HODLRX_INSTANTIATE_BLAS(std::complex<float>)
+HODLRX_INSTANTIATE_BLAS(std::complex<double>)
+
+#undef HODLRX_INSTANTIATE_BLAS
+
+}  // namespace hodlrx

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file config.hpp
+/// Project-wide fundamental types and constants.
+
+namespace hodlrx {
+
+/// Signed index type used for all matrix/vector dimensions (BLAS-style).
+/// Signed so that reverse loops and differences are safe.
+using index_t = std::int64_t;
+
+/// Version string of the library.
+inline constexpr const char* version() { return "1.0.0"; }
+
+/// Cache-line/SIMD alignment (bytes) used for matrix storage.
+inline constexpr std::size_t kAlignment = 64;
+
+}  // namespace hodlrx

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// \file error.hpp
+/// Error handling: a project exception type plus checked preconditions.
+///
+/// `HODLRX_REQUIRE` is always on (API misuse must not silently corrupt);
+/// `HODLRX_DBG_ASSERT` compiles away in release hot paths.
+
+namespace hodlrx {
+
+/// Exception thrown on precondition violations and numerical failures
+/// (e.g. an exactly singular pivot in an LU factorization).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* cond, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << "hodlrx: requirement `" << cond << "` failed at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hodlrx
+
+#define HODLRX_REQUIRE(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::hodlrx::detail::raise(#cond, __FILE__, __LINE__,                  \
+                              (std::ostringstream{} << msg).str());       \
+    }                                                                     \
+  } while (false)
+
+#ifndef NDEBUG
+#define HODLRX_DBG_ASSERT(cond) HODLRX_REQUIRE(cond, "debug assertion")
+#else
+#define HODLRX_DBG_ASSERT(cond) ((void)0)
+#endif

@@ -1,0 +1,54 @@
+#include "common/flops.hpp"
+
+#include <complex>
+
+#include "common/scalar.hpp"
+
+namespace hodlrx {
+
+FlopCounter& FlopCounter::instance() {
+  static FlopCounter counter;
+  return counter;
+}
+
+namespace {
+template <typename T>
+constexpr std::uint64_t scale() {
+  // One complex multiply-add = 4 real multiplies + 4 real adds ~ 4x a real
+  // multiply-add pair; we count a real fused pair as 2 flops.
+  return is_complex_v<T> ? 4 : 1;
+}
+}  // namespace
+
+template <typename T>
+std::uint64_t FlopCounter::gemm_flops(index_t m, index_t n, index_t k) {
+  return scale<T>() * 2ull * static_cast<std::uint64_t>(m) *
+         static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
+}
+
+template <typename T>
+std::uint64_t FlopCounter::getrf_flops(index_t n) {
+  const auto nn = static_cast<std::uint64_t>(n);
+  return scale<T>() * 2ull * nn * nn * nn / 3ull;
+}
+
+template <typename T>
+std::uint64_t FlopCounter::getrs_flops(index_t n, index_t nrhs) {
+  return scale<T>() * 2ull * static_cast<std::uint64_t>(n) *
+         static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(nrhs);
+}
+
+#define HODLRX_INSTANTIATE_FLOPS(T)                                        \
+  template std::uint64_t FlopCounter::gemm_flops<T>(index_t, index_t,      \
+                                                    index_t);              \
+  template std::uint64_t FlopCounter::getrf_flops<T>(index_t);             \
+  template std::uint64_t FlopCounter::getrs_flops<T>(index_t, index_t);
+
+HODLRX_INSTANTIATE_FLOPS(float)
+HODLRX_INSTANTIATE_FLOPS(double)
+HODLRX_INSTANTIATE_FLOPS(std::complex<float>)
+HODLRX_INSTANTIATE_FLOPS(std::complex<double>)
+
+#undef HODLRX_INSTANTIATE_FLOPS
+
+}  // namespace hodlrx

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/config.hpp"
+
+/// \file flops.hpp
+/// Thread-safe floating-point-operation accounting, used to report GFlop/s
+/// as in the paper's Fig. 9. Counters use relaxed atomics: exactness of the
+/// total matters, ordering does not.
+
+namespace hodlrx {
+
+/// Global flop counters, one per operation family.
+class FlopCounter {
+ public:
+  enum Category { kGemm = 0, kLu = 1, kTrsm = 2, kOther = 3, kNumCategories };
+
+  static FlopCounter& instance();
+
+  void add(Category c, std::uint64_t flops) {
+    counters_[c].fetch_add(flops, std::memory_order_relaxed);
+  }
+  std::uint64_t get(Category c) const {
+    return counters_[c].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (int c = 0; c < kNumCategories; ++c) t += get(Category(c));
+    return t;
+  }
+  void reset() {
+    for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  }
+
+  /// Flop formulas (real-arithmetic counts; complex ops are scaled by 4 for
+  /// multiplies+adds, matching common practice).
+  template <typename T>
+  static std::uint64_t gemm_flops(index_t m, index_t n, index_t k);
+  template <typename T>
+  static std::uint64_t getrf_flops(index_t n);
+  template <typename T>
+  static std::uint64_t getrs_flops(index_t n, index_t nrhs);
+
+ private:
+  std::atomic<std::uint64_t> counters_[kNumCategories] = {};
+};
+
+/// RAII helper: snapshot on construction, `delta()` gives flops since then.
+class FlopRegion {
+ public:
+  FlopRegion() : start_(FlopCounter::instance().total()) {}
+  std::uint64_t delta() const {
+    return FlopCounter::instance().total() - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace hodlrx

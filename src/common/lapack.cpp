@@ -1,0 +1,464 @@
+#include "common/lapack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/flops.hpp"
+
+namespace hodlrx {
+
+namespace {
+
+/// Unblocked right-looking LU with partial pivoting on an m x n panel
+/// (pivot search over the full column height).
+template <typename T>
+void getrf_unblocked(MatrixView<T> a, index_t* ipiv) {
+  const index_t m = a.rows, n = a.cols;
+  const index_t kmax = std::min(m, n);
+  for (index_t k = 0; k < kmax; ++k) {
+    // Pivot: largest |a(i,k)| for i >= k.
+    index_t p = k;
+    real_t<T> best = abs_s(a(k, k));
+    for (index_t i = k + 1; i < m; ++i) {
+      const real_t<T> v = abs_s(a(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    ipiv[k] = p;
+    HODLRX_REQUIRE(best > real_t<T>{0}, "getrf: exact zero pivot at column "
+                                            << k << " of " << n);
+    if (p != k)
+      for (index_t j = 0; j < n; ++j) std::swap(a(k, j), a(p, j));
+    // Scale the subdiagonal of column k, then rank-1 update the trailing
+    // block; both loops run down contiguous columns.
+    const T pivot = a(k, k);
+    T* __restrict__ ck = a.data + k * a.ld;
+    for (index_t i = k + 1; i < m; ++i) ck[i] /= pivot;
+    for (index_t j = k + 1; j < n; ++j) {
+      const T akj = a(k, j);
+      if (akj == T{}) continue;
+      T* __restrict__ cj = a.data + j * a.ld;
+      for (index_t i = k + 1; i < m; ++i) cj[i] -= ck[i] * akj;
+    }
+  }
+}
+
+template <typename T>
+void getrf_nopivot_unblocked(MatrixView<T> a) {
+  const index_t m = a.rows, n = a.cols;
+  const index_t kmax = std::min(m, n);
+  for (index_t k = 0; k < kmax; ++k) {
+    const T pivot = a(k, k);
+    HODLRX_REQUIRE(abs_s(pivot) > real_t<T>{0},
+                   "getrf_nopivot: zero pivot at column " << k);
+    T* __restrict__ ck = a.data + k * a.ld;
+    for (index_t i = k + 1; i < m; ++i) ck[i] /= pivot;
+    for (index_t j = k + 1; j < n; ++j) {
+      const T akj = a(k, j);
+      if (akj == T{}) continue;
+      T* __restrict__ cj = a.data + j * a.ld;
+      for (index_t i = k + 1; i < m; ++i) cj[i] -= ck[i] * akj;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void getrf(MatrixView<T> a, index_t* ipiv) {
+  const index_t m = a.rows, n = a.cols;
+  const index_t kmax = std::min(m, n);
+  if (kmax == 0) return;
+  constexpr index_t kBlock = 64;
+  if (kmax <= kBlock) {
+    getrf_unblocked(a, ipiv);
+  } else {
+    // Blocked right-looking: panel LU, row swaps, triangular update, GEMM.
+    for (index_t k = 0; k < kmax; k += kBlock) {
+      const index_t nb = std::min(kBlock, kmax - k);
+      MatrixView<T> panel = a.block(k, k, m - k, nb);
+      getrf_unblocked(panel, ipiv + k);
+      for (index_t i = 0; i < nb; ++i) ipiv[k + i] += k;  // global row index
+      // Apply the panel's interchanges to the columns outside it.
+      if (k > 0) {
+        MatrixView<T> left = a.block(0, 0, m, k);
+        for (index_t i = 0; i < nb; ++i) {
+          const index_t p = ipiv[k + i];
+          if (p != k + i)
+            for (index_t j = 0; j < k; ++j)
+              std::swap(left(k + i, j), left(p, j));
+        }
+      }
+      if (k + nb < n) {
+        MatrixView<T> right = a.block(0, k + nb, m, n - (k + nb));
+        for (index_t i = 0; i < nb; ++i) {
+          const index_t p = ipiv[k + i];
+          if (p != k + i)
+            for (index_t j = 0; j < right.cols; ++j)
+              std::swap(right(k + i, j), right(p, j));
+        }
+        // A12 <- L11^{-1} A12
+        trsm_left(Uplo::Lower, Diag::Unit, a.block(k, k, nb, nb),
+                  a.block(k, k + nb, nb, n - (k + nb)));
+        // A22 <- A22 - A21 * A12
+        if (k + nb < m) {
+          gemm(Op::N, Op::N, T{-1}, a.block(k + nb, k, m - (k + nb), nb),
+               ConstMatrixView<T>(a.block(k, k + nb, nb, n - (k + nb))), T{1},
+               a.block(k + nb, k + nb, m - (k + nb), n - (k + nb)));
+        }
+      }
+    }
+  }
+  FlopCounter::instance().add(FlopCounter::kLu,
+                              FlopCounter::getrf_flops<T>(kmax));
+}
+
+template <typename T>
+void getrf_nopivot(MatrixView<T> a) {
+  getrf_nopivot_unblocked(a);
+  FlopCounter::instance().add(
+      FlopCounter::kLu, FlopCounter::getrf_flops<T>(std::min(a.rows, a.cols)));
+}
+
+template <typename T>
+void laswp(MatrixView<T> b, const index_t* ipiv, index_t npiv, bool forward) {
+  if (forward) {
+    for (index_t k = 0; k < npiv; ++k) {
+      const index_t p = ipiv[k];
+      if (p != k)
+        for (index_t j = 0; j < b.cols; ++j) std::swap(b(k, j), b(p, j));
+    }
+  } else {
+    for (index_t k = npiv - 1; k >= 0; --k) {
+      const index_t p = ipiv[k];
+      if (p != k)
+        for (index_t j = 0; j < b.cols; ++j) std::swap(b(k, j), b(p, j));
+    }
+  }
+}
+
+template <typename T>
+void trsm_left(Uplo uplo, Diag diag, NoDeduce<ConstMatrixView<T>> a,
+               MatrixView<T> b) {
+  const index_t n = a.rows;
+  HODLRX_REQUIRE(a.cols == n && b.rows == n, "trsm_left: shape mismatch");
+  if (uplo == Uplo::Lower) {
+    for (index_t j = 0; j < b.cols; ++j) {
+      T* __restrict__ x = b.data + j * b.ld;
+      for (index_t k = 0; k < n; ++k) {
+        if (diag == Diag::NonUnit) x[k] /= a(k, k);
+        const T xk = x[k];
+        if (xk == T{}) continue;
+        const T* __restrict__ lk = a.data + k * a.ld;
+        for (index_t i = k + 1; i < n; ++i) x[i] -= lk[i] * xk;
+      }
+    }
+  } else {
+    for (index_t j = 0; j < b.cols; ++j) {
+      T* __restrict__ x = b.data + j * b.ld;
+      for (index_t k = n - 1; k >= 0; --k) {
+        if (diag == Diag::NonUnit) x[k] /= a(k, k);
+        const T xk = x[k];
+        if (xk == T{}) continue;
+        const T* __restrict__ uk = a.data + k * a.ld;
+        for (index_t i = 0; i < k; ++i) x[i] -= uk[i] * xk;
+      }
+    }
+  }
+  FlopCounter::instance().add(
+      FlopCounter::kTrsm,
+      (is_complex_v<T> ? 4ull : 1ull) * static_cast<std::uint64_t>(n) *
+          static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(b.cols));
+}
+
+template <typename T>
+void getrs(NoDeduce<ConstMatrixView<T>> lu, const index_t* ipiv,
+           MatrixView<T> b) {
+  HODLRX_REQUIRE(lu.rows == lu.cols && lu.rows == b.rows,
+                 "getrs: shape mismatch");
+  laswp(b, ipiv, lu.rows, /*forward=*/true);
+  trsm_left(Uplo::Lower, Diag::Unit, lu, b);
+  trsm_left(Uplo::Upper, Diag::NonUnit, lu, b);
+}
+
+template <typename T>
+void getrs_nopivot(NoDeduce<ConstMatrixView<T>> lu, MatrixView<T> b) {
+  HODLRX_REQUIRE(lu.rows == lu.cols && lu.rows == b.rows,
+                 "getrs_nopivot: shape mismatch");
+  trsm_left(Uplo::Lower, Diag::Unit, lu, b);
+  trsm_left(Uplo::Upper, Diag::NonUnit, lu, b);
+}
+
+namespace {
+
+/// Compute a Householder reflector H = I - tau * v v^H annihilating
+/// x[1..n) into x[0]; v[0] = 1 implied, v stored in x[1..n). Returns tau and
+/// replaces x[0] with the resulting "beta" value (the new diagonal of R).
+template <typename T>
+T make_householder(T* x, index_t n) {
+  if (n <= 1) {
+    return T{};
+  }
+  const real_t<T> xnorm = norm2(x + 1, n - 1);
+  if (xnorm == real_t<T>{0} && !is_complex_v<T>) {
+    return T{};
+  }
+  const T alpha = x[0];
+  real_t<T> beta = std::hypot(abs_s(alpha), xnorm);
+  // Choose sign to avoid cancellation: beta has opposite sign of Re(alpha).
+  if (ScalarTraits<T>::real(alpha) > real_t<T>{0}) beta = -beta;
+  if (beta == real_t<T>{0}) return T{};
+  const T betaT = T{beta};
+  const T tau = (betaT - alpha) / betaT;
+  const T scale = T{1} / (alpha - betaT);
+  for (index_t i = 1; i < n; ++i) x[i] *= scale;
+  x[0] = betaT;
+  return tau;
+}
+
+/// Apply H = I - tau v v^H (v from column `k` of `factors`, v[0]=1 implied)
+/// to C (rows k..m).
+template <typename T>
+void apply_householder(ConstMatrixView<T> factors, index_t k, T tau,
+                       MatrixView<T> c) {
+  if (tau == T{}) return;
+  const index_t m = factors.rows;
+  const T* __restrict__ v = factors.data + k + k * factors.ld;  // v[0] = beta slot
+  for (index_t j = 0; j < c.cols; ++j) {
+    T* __restrict__ cj = c.data + k + j * c.ld;
+    // w = v^H * c(k:m, j), with v[0] treated as 1.
+    T w = cj[0];
+    for (index_t i = 1; i < m - k; ++i) w += conj_s(v[i]) * cj[i];
+    w *= tau;
+    cj[0] -= w;
+    for (index_t i = 1; i < m - k; ++i) cj[i] -= v[i] * w;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+QRFactors<T> geqrf(ConstMatrixView<T> a) {
+  QRFactors<T> qr;
+  qr.factors = to_matrix(a);
+  const index_t m = a.rows, n = a.cols;
+  const index_t kmax = std::min(m, n);
+  qr.tau.assign(kmax, T{});
+  MatrixView<T> f = qr.factors;
+  for (index_t k = 0; k < kmax; ++k) {
+    qr.tau[k] = make_householder(f.data + k + k * f.ld, m - k);
+    if (k + 1 < n)
+      apply_householder<T>(f, k, conj_s(qr.tau[k]),
+                           f.block(0, k + 1, m, n - k - 1));
+  }
+  FlopCounter::instance().add(
+      FlopCounter::kOther,
+      (is_complex_v<T> ? 4ull : 1ull) * 2ull * static_cast<std::uint64_t>(m) *
+          static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(kmax));
+  return qr;
+}
+
+template <typename T>
+Matrix<T> thin_q(const QRFactors<T>& qr) {
+  const index_t m = qr.factors.rows();
+  const index_t k = static_cast<index_t>(qr.tau.size());
+  Matrix<T> q(m, k);
+  for (index_t j = 0; j < k; ++j) q(j, j) = T{1};
+  ConstMatrixView<T> f = qr.factors;
+  for (index_t j = k - 1; j >= 0; --j)
+    apply_householder<T>(f, j, qr.tau[j], q.block(0, 0, m, k));
+  return q;
+}
+
+template <typename T>
+Matrix<T> r_factor(const QRFactors<T>& qr) {
+  const index_t n = qr.factors.cols();
+  const index_t k = static_cast<index_t>(qr.tau.size());
+  Matrix<T> r(k, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= std::min(j, k - 1); ++i)
+      r(i, j) = qr.factors(i, j);
+  return r;
+}
+
+template <typename T>
+CPQRFactors<T> geqp3(ConstMatrixView<T> a, NoDeduce<real_t<T>> tol,
+                     index_t max_rank) {
+  using R = real_t<T>;
+  CPQRFactors<T> out;
+  out.factors = to_matrix(a);
+  const index_t m = a.rows, n = a.cols;
+  const index_t kmax = std::min({m, n, max_rank < 0 ? n : max_rank});
+  out.tau.assign(std::min(m, n), T{});
+  out.jpvt.resize(n);
+  for (index_t j = 0; j < n; ++j) out.jpvt[j] = j;
+
+  MatrixView<T> f = out.factors;
+  std::vector<R> colnorm(n), colnorm0(n);
+  for (index_t j = 0; j < n; ++j)
+    colnorm[j] = colnorm0[j] = norm2(f.data + j * f.ld, m);
+  const R nrm_max0 = *std::max_element(colnorm.begin(), colnorm.end());
+  if (nrm_max0 == R{0}) return out;  // zero matrix: rank 0
+
+  index_t k = 0;
+  for (; k < kmax; ++k) {
+    // Select the column with the largest remaining norm.
+    index_t p = k;
+    for (index_t j = k + 1; j < n; ++j)
+      if (colnorm[j] > colnorm[p]) p = j;
+    if (colnorm[p] <= tol * nrm_max0) break;
+    if (p != k) {
+      for (index_t i = 0; i < m; ++i) std::swap(f(i, k), f(i, p));
+      std::swap(colnorm[k], colnorm[p]);
+      std::swap(colnorm0[k], colnorm0[p]);
+      std::swap(out.jpvt[k], out.jpvt[p]);
+    }
+    out.tau[k] = make_householder(f.data + k + k * f.ld, m - k);
+    if (k + 1 < n)
+      apply_householder<T>(f, k, conj_s(out.tau[k]),
+                           f.block(0, k + 1, m, n - k - 1));
+    // Downdate remaining column norms; recompute when cancellation bites.
+    for (index_t j = k + 1; j < n; ++j) {
+      if (colnorm[j] == R{0}) continue;
+      R t = abs_s(f(k, j)) / colnorm[j];
+      t = std::max(R{0}, (R{1} + t) * (R{1} - t));
+      const R ratio = colnorm[j] / colnorm0[j];
+      if (t * ratio * ratio <= R{100} * eps_v<T>) {
+        colnorm[j] = (k + 1 < m)
+                         ? norm2(f.data + (k + 1) + j * f.ld, m - k - 1)
+                         : R{0};
+        colnorm0[j] = colnorm[j];
+      } else {
+        colnorm[j] *= std::sqrt(t);
+      }
+    }
+  }
+  out.rank = k;
+  return out;
+}
+
+template <typename T>
+SVDResult<T> jacobi_svd(ConstMatrixView<T> a) {
+  using R = real_t<T>;
+  if (a.rows == 0 || a.cols == 0) return {};
+  // Work on a tall copy: if a is wide, factor a^H and swap U <-> V.
+  const bool flip = a.rows < a.cols;
+  Matrix<T> w = flip ? transpose(a, /*conjugate=*/true) : to_matrix(a);
+  const index_t m = w.rows(), n = w.cols();
+  Matrix<T> v = Matrix<T>::identity(n);
+
+  const R tol = R{32} * eps_v<T>;
+  const int max_sweeps = 42;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        T* __restrict__ wp = w.data() + p * m;
+        T* __restrict__ wq = w.data() + q * m;
+        R alpha{}, beta{};
+        T gamma{};
+        for (index_t i = 0; i < m; ++i) {
+          alpha += abs2_s(wp[i]);
+          beta += abs2_s(wq[i]);
+          gamma += conj_s(wp[i]) * wq[i];
+        }
+        const R g = abs_s(gamma);
+        if (g <= tol * std::sqrt(alpha * beta) || g == R{0}) continue;
+        rotated = true;
+        // Phase so that the rotated off-diagonal is real, then a real
+        // Jacobi rotation (c, s_r).
+        const T phase = gamma / T{g};
+        const R zeta = (beta - alpha) / (R{2} * g);
+        const R t = (zeta >= R{0} ? R{1} : R{-1}) /
+                    (std::abs(zeta) + std::sqrt(R{1} + zeta * zeta));
+        const R c = R{1} / std::sqrt(R{1} + t * t);
+        const R sr = c * t;
+        const T s = phase * T{sr};
+        for (index_t i = 0; i < m; ++i) {
+          const T xp = wp[i], xq = wq[i];
+          wp[i] = T{c} * xp - conj_s(s) * xq;
+          wq[i] = s * xp + T{c} * xq;
+        }
+        T* __restrict__ vp = v.data() + p * n;
+        T* __restrict__ vq = v.data() + q * n;
+        for (index_t i = 0; i < n; ++i) {
+          const T xp = vp[i], xq = vq[i];
+          vp[i] = T{c} * xp - conj_s(s) * xq;
+          vq[i] = s * xp + T{c} * xq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  SVDResult<T> out;
+  out.s.resize(n);
+  std::vector<index_t> order(n);
+  for (index_t j = 0; j < n; ++j) {
+    out.s[j] = norm2(w.data() + j * m, m);
+    order[j] = j;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](index_t x, index_t y) { return out.s[x] > out.s[y]; });
+  Matrix<T> u_sorted(m, n), v_sorted(n, n);
+  std::vector<R> s_sorted(n);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t src = order[j];
+    s_sorted[j] = out.s[src];
+    const R inv = out.s[src] > R{0} ? R{1} / out.s[src] : R{0};
+    for (index_t i = 0; i < m; ++i)
+      u_sorted(i, j) = w(i, src) * T{inv};
+    for (index_t i = 0; i < n; ++i) v_sorted(i, j) = v(i, src);
+  }
+  out.s = std::move(s_sorted);
+  if (flip) {
+    out.u = std::move(v_sorted);
+    out.v = std::move(u_sorted);
+  } else {
+    out.u = std::move(u_sorted);
+    out.v = std::move(v_sorted);
+  }
+  return out;
+}
+
+template <typename T>
+Matrix<T> dense_solve(ConstMatrixView<T> a, NoDeduce<ConstMatrixView<T>> b) {
+  Matrix<T> lu = to_matrix(a);
+  std::vector<index_t> ipiv(a.rows);
+  getrf(lu.view(), ipiv.data());
+  Matrix<T> x = to_matrix(b);
+  getrs(ConstMatrixView<T>(lu), ipiv.data(), x.view());
+  return x;
+}
+
+#define HODLRX_INSTANTIATE_LAPACK(T)                                        \
+  template void getrf<T>(MatrixView<T>, index_t*);                          \
+  template void getrf_nopivot<T>(MatrixView<T>);                            \
+  template void laswp<T>(MatrixView<T>, const index_t*, index_t, bool);     \
+  template void getrs<T>(NoDeduce<ConstMatrixView<T>>, const index_t*,     \
+                         MatrixView<T>);                                    \
+  template void getrs_nopivot<T>(NoDeduce<ConstMatrixView<T>>,              \
+                                 MatrixView<T>);                            \
+  template void trsm_left<T>(Uplo, Diag, NoDeduce<ConstMatrixView<T>>,      \
+                             MatrixView<T>);                                \
+  template QRFactors<T> geqrf<T>(ConstMatrixView<T>);                       \
+  template Matrix<T> thin_q<T>(const QRFactors<T>&);                        \
+  template Matrix<T> r_factor<T>(const QRFactors<T>&);                      \
+  template CPQRFactors<T> geqp3<T>(ConstMatrixView<T>, NoDeduce<real_t<T>>,  \
+                                   index_t);                                \
+  template SVDResult<T> jacobi_svd<T>(ConstMatrixView<T>);                  \
+  template Matrix<T> dense_solve<T>(ConstMatrixView<T>,                    \
+                                    NoDeduce<ConstMatrixView<T>>);
+
+HODLRX_INSTANTIATE_LAPACK(float)
+HODLRX_INSTANTIATE_LAPACK(double)
+HODLRX_INSTANTIATE_LAPACK(std::complex<float>)
+HODLRX_INSTANTIATE_LAPACK(std::complex<double>)
+
+#undef HODLRX_INSTANTIATE_LAPACK
+
+}  // namespace hodlrx

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <vector>
+
+#include "common/blas.hpp"
+#include "common/matrix.hpp"
+
+/// \file lapack.hpp
+/// LAPACK-like dense factorizations on column-major views: partially pivoted
+/// LU (blocked), triangular solves, Householder QR, column-pivoted QR, and a
+/// one-sided Jacobi SVD for small matrices. These are the primitives behind
+/// both the serial solvers and the batched device engine.
+
+namespace hodlrx {
+
+enum class Uplo : char { Lower = 'L', Upper = 'U' };
+enum class Diag : char { Unit = 'U', NonUnit = 'N' };
+
+/// In-place LU with partial pivoting: A = P * L * U. `ipiv[k]` is the row
+/// swapped with row k at step k (LAPACK convention, 0-based). Throws
+/// hodlrx::Error on an exactly zero pivot.
+template <typename T>
+void getrf(MatrixView<T> a, index_t* ipiv);
+
+/// In-place LU without pivoting; throws on a zero pivot. Used by the
+/// identity-diagonal K-matrix variant (paper Sec. III-C, last paragraph).
+template <typename T>
+void getrf_nopivot(MatrixView<T> a);
+
+/// Apply the row interchanges recorded in `ipiv[0..npiv)` to B
+/// (forward=true: same order as factorization; false: inverse order).
+template <typename T>
+void laswp(MatrixView<T> b, const index_t* ipiv, index_t npiv, bool forward);
+
+/// Solve A X = B in place given getrf output (B overwritten with X).
+template <typename T>
+void getrs(NoDeduce<ConstMatrixView<T>> lu, const index_t* ipiv,
+           MatrixView<T> b);
+
+/// Solve A X = B in place given getrf_nopivot output.
+template <typename T>
+void getrs_nopivot(NoDeduce<ConstMatrixView<T>> lu, MatrixView<T> b);
+
+/// Triangular solve (left side, no transpose): B <- op(A)^{-1} B.
+template <typename T>
+void trsm_left(Uplo uplo, Diag diag, NoDeduce<ConstMatrixView<T>> a,
+               MatrixView<T> b);
+
+/// Householder QR factorization in compact form (reflectors below R, taus).
+template <typename T>
+struct QRFactors {
+  Matrix<T> factors;    ///< m x n; R in the upper triangle, reflectors below
+  std::vector<T> tau;   ///< min(m, n) Householder scalars
+};
+
+template <typename T>
+QRFactors<T> geqrf(ConstMatrixView<T> a);
+template <typename T>
+QRFactors<T> geqrf(MatrixView<T> a) {
+  return geqrf(ConstMatrixView<T>(a));
+}
+template <typename T>
+QRFactors<T> geqrf(const Matrix<T>& a) {
+  return geqrf(a.view());
+}
+
+/// Explicit thin Q (m x min(m,n)) from geqrf output.
+template <typename T>
+Matrix<T> thin_q(const QRFactors<T>& qr);
+
+/// Explicit R factor (min(m,n) x n upper triangular) from geqrf output.
+template <typename T>
+Matrix<T> r_factor(const QRFactors<T>& qr);
+
+/// Column-pivoted QR, truncated at `tol` (relative to the largest initial
+/// column norm) or at `max_rank` columns, whichever comes first.
+template <typename T>
+struct CPQRFactors {
+  Matrix<T> factors;          ///< as geqrf, but only `rank` reflectors valid
+  std::vector<T> tau;
+  std::vector<index_t> jpvt;  ///< column permutation: A(:, jpvt) = Q R
+  index_t rank = 0;
+};
+
+template <typename T>
+CPQRFactors<T> geqp3(ConstMatrixView<T> a, NoDeduce<real_t<T>> tol,
+                     index_t max_rank);
+template <typename T>
+CPQRFactors<T> geqp3(MatrixView<T> a, NoDeduce<real_t<T>> tol,
+                     index_t max_rank) {
+  return geqp3(ConstMatrixView<T>(a), tol, max_rank);
+}
+template <typename T>
+CPQRFactors<T> geqp3(const Matrix<T>& a, NoDeduce<real_t<T>> tol,
+                     index_t max_rank) {
+  return geqp3(a.view(), tol, max_rank);
+}
+
+/// Thin SVD A = U diag(s) V^H via one-sided Jacobi. Intended for small
+/// matrices (recompression cores, validation); singular values descending.
+template <typename T>
+struct SVDResult {
+  Matrix<T> u;               ///< m x min(m,n)
+  std::vector<real_t<T>> s;  ///< min(m,n), descending
+  Matrix<T> v;               ///< n x min(m,n)
+};
+
+template <typename T>
+SVDResult<T> jacobi_svd(ConstMatrixView<T> a);
+template <typename T>
+SVDResult<T> jacobi_svd(MatrixView<T> a) {
+  return jacobi_svd(ConstMatrixView<T>(a));
+}
+template <typename T>
+SVDResult<T> jacobi_svd(const Matrix<T>& a) {
+  return jacobi_svd(a.view());
+}
+
+/// Dense solve helper: X = A^{-1} B (A copied, LU-factorized internally).
+template <typename T>
+Matrix<T> dense_solve(ConstMatrixView<T> a, NoDeduce<ConstMatrixView<T>> b);
+template <typename T>
+Matrix<T> dense_solve(const Matrix<T>& a, NoDeduce<ConstMatrixView<T>> b) {
+  return dense_solve(a.view(), b);
+}
+
+}  // namespace hodlrx

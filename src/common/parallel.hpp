@@ -1,0 +1,77 @@
+#pragma once
+
+#include <omp.h>
+
+#include <exception>
+
+#include "common/config.hpp"
+
+/// \file parallel.hpp
+/// Thin OpenMP wrappers. Thinking in tasks rather than threads (CP.4):
+/// callers express "run f over [0, n)" and the runtime schedules it.
+/// Exceptions thrown by workers are captured and rethrown on the calling
+/// thread (an exception escaping an OpenMP region would terminate).
+
+namespace hodlrx {
+
+inline int max_threads() { return omp_get_max_threads(); }
+
+namespace detail {
+
+template <typename F>
+void parallel_for_impl(index_t n, F&& f, bool dynamic_schedule) {
+  std::exception_ptr error = nullptr;
+  if (dynamic_schedule) {
+#pragma omp parallel for schedule(dynamic, 1) shared(error)
+    for (index_t i = 0; i < n; ++i) {
+      try {
+        f(i);
+      } catch (...) {
+#pragma omp critical(hodlrx_parallel_for_error)
+        if (!error) error = std::current_exception();
+      }
+    }
+  } else {
+#pragma omp parallel for schedule(static) shared(error)
+    for (index_t i = 0; i < n; ++i) {
+      try {
+        f(i);
+      } catch (...) {
+#pragma omp critical(hodlrx_parallel_for_error)
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace detail
+
+/// Run `f(i)` for i in [0, n) with dynamic scheduling (irregular work, e.g.
+/// per-block compression). `f` must be safe to run concurrently.
+template <typename F>
+void parallel_for(index_t n, F&& f) {
+  if (n <= 0) return;
+  if (n == 1) {
+    f(index_t{0});
+    return;
+  }
+  detail::parallel_for_impl(n, std::forward<F>(f), /*dynamic=*/true);
+}
+
+/// Static-scheduled variant for uniform, fine-grained work (e.g. a level of
+/// equally sized batched problems).
+template <typename F>
+void parallel_for_static(index_t n, F&& f) {
+  if (n <= 0) return;
+  if (n == 1) {
+    f(index_t{0});
+    return;
+  }
+  detail::parallel_for_impl(n, std::forward<F>(f), /*dynamic=*/false);
+}
+
+/// True when called from inside an OpenMP parallel region.
+inline bool in_parallel() { return omp_in_parallel() != 0; }
+
+}  // namespace hodlrx

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <random>
+
+#include "common/matrix.hpp"
+#include "common/scalar.hpp"
+
+/// \file random.hpp
+/// Seeded random number generation for reproducible experiments.
+
+namespace hodlrx {
+
+/// A thin, deterministic RNG wrapper (mt19937_64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : eng_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  template <typename R>
+  R uniform(R lo, R hi) {
+    std::uniform_real_distribution<R> d(lo, hi);
+    return d(eng_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  index_t uniform_int(index_t lo, index_t hi) {
+    std::uniform_int_distribution<index_t> d(lo, hi);
+    return d(eng_);
+  }
+
+  /// Standard normal.
+  template <typename R>
+  R gaussian() {
+    std::normal_distribution<R> d(R(0), R(1));
+    return d(eng_);
+  }
+
+  /// Fill a view with uniform [-1, 1) entries (both parts for complex).
+  template <typename T>
+  void fill_uniform(MatrixView<T> a) {
+    using R = real_t<T>;
+    for (index_t j = 0; j < a.cols; ++j)
+      for (index_t i = 0; i < a.rows; ++i) {
+        if constexpr (is_complex_v<T>) {
+          a(i, j) = T(uniform<R>(R(-1), R(1)), uniform<R>(R(-1), R(1)));
+        } else {
+          a(i, j) = uniform<R>(R(-1), R(1));
+        }
+      }
+  }
+
+  /// Fill a view with standard Gaussian entries (both parts for complex).
+  template <typename T>
+  void fill_gaussian(MatrixView<T> a) {
+    using R = real_t<T>;
+    for (index_t j = 0; j < a.cols; ++j)
+      for (index_t i = 0; i < a.rows; ++i) {
+        if constexpr (is_complex_v<T>) {
+          a(i, j) = T(gaussian<R>(), gaussian<R>());
+        } else {
+          a(i, j) = gaussian<R>();
+        }
+      }
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+/// Convenience: a fresh random matrix with uniform [-1,1) entries.
+template <typename T>
+Matrix<T> random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  Matrix<T> m(rows, cols);
+  Rng rng(seed);
+  rng.fill_uniform<T>(m);
+  return m;
+}
+
+}  // namespace hodlrx

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <type_traits>
+
+/// \file scalar.hpp
+/// Traits unifying real and complex scalars (float, double,
+/// std::complex<float>, std::complex<double>) so numerical code can be
+/// written once.
+
+namespace hodlrx {
+
+template <typename T>
+struct ScalarTraits {
+  using real_type = T;
+  static constexpr bool is_complex = false;
+  static T conj(T x) { return x; }
+  static real_type real(T x) { return x; }
+  static real_type abs(T x) { return std::abs(x); }
+  static real_type abs2(T x) { return x * x; }
+};
+
+template <typename R>
+struct ScalarTraits<std::complex<R>> {
+  using real_type = R;
+  static constexpr bool is_complex = true;
+  static std::complex<R> conj(std::complex<R> x) { return std::conj(x); }
+  static real_type real(std::complex<R> x) { return x.real(); }
+  static real_type abs(std::complex<R> x) { return std::abs(x); }
+  static real_type abs2(std::complex<R> x) {
+    return x.real() * x.real() + x.imag() * x.imag();
+  }
+};
+
+/// The underlying real type of a (possibly complex) scalar.
+template <typename T>
+using real_t = typename ScalarTraits<T>::real_type;
+
+template <typename T>
+inline constexpr bool is_complex_v = ScalarTraits<T>::is_complex;
+
+/// Complex conjugate for any scalar (identity for real types).
+template <typename T>
+inline T conj_s(T x) {
+  return ScalarTraits<T>::conj(x);
+}
+
+/// |x| as the underlying real type.
+template <typename T>
+inline real_t<T> abs_s(T x) {
+  return ScalarTraits<T>::abs(x);
+}
+
+/// |x|^2 without the square root.
+template <typename T>
+inline real_t<T> abs2_s(T x) {
+  return ScalarTraits<T>::abs2(x);
+}
+
+/// Machine epsilon of the underlying real type.
+template <typename T>
+inline constexpr real_t<T> eps_v = std::numeric_limits<real_t<T>>::epsilon();
+
+/// Names for diagnostics ("d", "s", "z", "c" as in LAPACK).
+template <typename T>
+constexpr const char* scalar_name() {
+  if constexpr (std::is_same_v<T, float>) return "s";
+  if constexpr (std::is_same_v<T, double>) return "d";
+  if constexpr (std::is_same_v<T, std::complex<float>>) return "c";
+  if constexpr (std::is_same_v<T, std::complex<double>>) return "z";
+  return "?";
+}
+
+}  // namespace hodlrx

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <chrono>
+
+/// \file timer.hpp
+/// Wall-clock timing for the benchmark harness.
+
+namespace hodlrx {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace hodlrx

@@ -1,0 +1,47 @@
+#include "core/factorization.hpp"
+
+#include <complex>
+
+#include "common/error.hpp"
+#include "core/engine_detail.hpp"
+
+namespace hodlrx {
+
+template <typename T>
+HodlrFactorization<T> HodlrFactorization<T>::factor(
+    const PackedHodlr<T>& packed, const FactorOptions& opt) {
+  HodlrFactorization<T> f = detail::FactorEngine<T>::stage(packed, opt);
+  if (opt.mode == ExecMode::kSerial)
+    detail::FactorEngine<T>::run_factor_serial(f);
+  else
+    detail::FactorEngine<T>::run_factor_batched(f);
+  return f;
+}
+
+template <typename T>
+void HodlrFactorization<T>::solve_inplace(MatrixView<T> b) const {
+  HODLRX_REQUIRE(b.rows == n(), "solve: rhs has " << b.rows << " rows, need "
+                                                  << n());
+  if (b.cols == 0) return;
+  if (opt_.mode == ExecMode::kSerial)
+    detail::FactorEngine<T>::run_solve_serial(*this, b);
+  else
+    detail::FactorEngine<T>::run_solve_batched(*this, b);
+}
+
+template <typename T>
+std::size_t HodlrFactorization<T>::storage_bytes() const {
+  std::size_t bytes = ybig_.bytes() + vbig_.bytes() +
+                      dfac_.size() * sizeof(T) +
+                      d_ipiv_.size() * sizeof(index_t);
+  for (const LevelK& k : kfac_)
+    bytes += k.data.size() * sizeof(T) + k.ipiv.size() * sizeof(index_t);
+  return bytes;
+}
+
+template class HodlrFactorization<float>;
+template class HodlrFactorization<double>;
+template class HodlrFactorization<std::complex<float>>;
+template class HodlrFactorization<std::complex<double>>;
+
+}  // namespace hodlrx

@@ -1,0 +1,100 @@
+#pragma once
+
+#include "core/packed.hpp"
+#include "device/device.hpp"
+
+/// \file factorization.hpp
+/// The two-stage HODLR factorization of the paper:
+///   - factor(): Algorithm 1 (serial engine) / Algorithm 3 (batched engine);
+///   - solve_inplace(): Algorithm 2 / Algorithm 4, any number of RHS.
+///
+/// Both engines run the SAME sweep over the packed big-matrix layout and
+/// produce bit-comparable factors; they differ only in how the per-node
+/// BLAS/LAPACK work is issued (plain single-thread loops vs batched device
+/// kernels). The factorization owns device copies of Ybig (overwriting
+/// Ubig), Vbig, the leaf LU factors, and the per-level K-matrix LU factors,
+/// so the source PackedHodlr stays valid for residual checks.
+
+namespace hodlrx {
+
+namespace detail {
+template <typename T>
+struct FactorEngine;
+}
+
+template <typename T>
+class HodlrFactorization {
+ public:
+  /// Factor the packed HODLR matrix. Simulates the paper's workflow: the
+  /// packed data is "copied to the device" (transfer recorded), then
+  /// factorized in place on the device.
+  static HodlrFactorization factor(const PackedHodlr<T>& packed,
+                                   const FactorOptions& opt = {});
+
+  /// Solve A x = b in place for any number of RHS columns (b: n x nrhs).
+  void solve_inplace(MatrixView<T> b) const;
+
+  /// Out-of-place convenience solve.
+  Matrix<T> solve(ConstMatrixView<T> b) const {
+    Matrix<T> x = to_matrix(b);
+    solve_inplace(x);
+    return x;
+  }
+
+  /// log|det(A)| and the unit phase (sign for real T), via the telescoping
+  /// factorization of Theorem 5 and Sylvester's determinant identity.
+  struct LogDet {
+    real_t<T> log_abs = 0;
+    T phase = T{1};
+  };
+  LogDet logdet() const;
+
+  const ClusterTree& tree() const { return tree_; }
+  index_t n() const { return tree_.n(); }
+  ExecMode mode() const { return opt_.mode; }
+  const FactorOptions& options() const { return opt_; }
+
+  /// Bytes held by the factorization (the paper's `mem` column).
+  std::size_t bytes() const { return storage_bytes(); }
+
+ private:
+  HodlrFactorization() = default;
+  std::size_t storage_bytes() const;
+  friend struct detail::FactorEngine<T>;
+
+  /// One level of factored K matrices (eq. 11): `count` contiguous blocks
+  /// of size r2 x r2 (r2 = 2 * level_rank[l+1]).
+  struct LevelK {
+    index_t r2 = 0;
+    index_t count = 0;
+    std::vector<T> data;
+    std::vector<index_t> ipiv;  ///< empty for the pivot-free K form
+
+    MatrixView<T> block(index_t k) {
+      return {data.data() + k * r2 * r2, r2, r2, r2};
+    }
+    ConstMatrixView<T> block(index_t k) const {
+      return {data.data() + k * r2 * r2, r2, r2, r2};
+    }
+    index_t* pivots(index_t k) { return ipiv.data() + k * r2; }
+    const index_t* pivots(index_t k) const { return ipiv.data() + k * r2; }
+  };
+
+  ClusterTree tree_;
+  FactorOptions opt_;
+  std::vector<index_t> level_rank_, col_offset_;
+  index_t total_cols_ = 0;
+  std::vector<char> level_uniform_;
+  bool leaves_uniform_ = false;
+
+  Matrix<T> ybig_;               ///< factored panels (was Ubig)
+  Matrix<T> vbig_;               ///< device copy of Vbig (needed by solves)
+  std::vector<T> dfac_;          ///< leaf blocks, LU-factored in place
+  std::vector<index_t> d_offset_;
+  std::vector<index_t> d_ipiv_;  ///< leaf pivots, indexed by global row
+  std::vector<LevelK> kfac_;     ///< kfac_[l] for sweep step l = 0..L-1
+
+  DeviceAllocation device_mem_;
+};
+
+}  // namespace hodlrx

@@ -1,0 +1,161 @@
+#include "core/hodlr.hpp"
+
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "lowrank/aca.hpp"
+#include "lowrank/recompress.hpp"
+
+namespace hodlrx {
+
+template <typename T>
+HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
+                                     const ClusterTree& tree,
+                                     const BuildOptions& opt) {
+  HODLRX_REQUIRE(g.rows() == tree.n() && g.cols() == tree.n(),
+                 "build: generator is " << g.rows() << "x" << g.cols()
+                                        << " but tree has n=" << tree.n());
+  HodlrMatrix<T> h;
+  h.tree_ = tree;
+  h.u_.resize(tree.num_nodes());
+  h.v_.resize(tree.num_nodes());
+  h.leaf_d_.resize(tree.num_leaves());
+
+  AcaOptions aopt;
+  aopt.tol = opt.tol;
+  aopt.max_rank = opt.max_rank;
+  aopt.rook_iterations = opt.rook_iterations;
+  aopt.seed = opt.seed;
+
+  // Task list: every non-root node `nu` owns the block (I_nu, I_sib(nu));
+  // leaves additionally own their diagonal block. All tasks independent.
+  const index_t first = 1;
+  const index_t num_offdiag = tree.num_nodes() - 1;
+  const index_t num_leaves = tree.num_leaves();
+  std::vector<std::string> errors(num_offdiag + num_leaves);
+  parallel_for(num_offdiag + num_leaves, [&](index_t task) {
+    try {
+      if (task < num_offdiag) {
+        const index_t nu = first + task;
+        const index_t sib = ClusterTree::sibling(nu);
+        const ClusterNode& rowc = tree.node(nu);
+        const ClusterNode& colc = tree.node(sib);
+        AcaResult<T> res = aca(g, rowc.begin, colc.begin, rowc.size(),
+                               colc.size(), aopt);
+        HODLRX_REQUIRE(res.converged,
+                       "ACA did not converge on block (" << nu << ", " << sib
+                                                         << ")");
+        if (opt.recompress && res.factor.rank() > 0)
+          recompress(res.factor, static_cast<real_t<T>>(opt.tol));
+        // Rows of the block live on nu -> U_nu; columns on sib -> V_sib.
+        h.u_[nu] = std::move(res.factor.u);
+        h.v_[sib] = std::move(res.factor.v);
+      } else {
+        const index_t j = task - num_offdiag;
+        const ClusterNode& c = tree.node(tree.leaf(j));
+        h.leaf_d_[j] = Matrix<T>(c.size(), c.size());
+        g.fill_block(c.begin, c.begin, h.leaf_d_[j]);
+      }
+    } catch (const std::exception& e) {
+      errors[task] = e.what();
+    }
+  });
+  for (const auto& e : errors)
+    HODLRX_REQUIRE(e.empty(), "HodlrMatrix::build failed: " << e);
+  return h;
+}
+
+template <typename T>
+HodlrMatrix<T> HodlrMatrix<T>::build_from_dense(ConstMatrixView<T> a,
+                                                const ClusterTree& tree,
+                                                const BuildOptions& opt) {
+  DenseGenerator<T> g(to_matrix(a));
+  return build(g, tree, opt);
+}
+
+template <typename T>
+std::vector<index_t> HodlrMatrix<T>::rank_ladder() const {
+  std::vector<index_t> ladder(tree_.depth(), 0);
+  for (index_t level = 1; level <= tree_.depth(); ++level)
+    for (index_t i = ClusterTree::level_begin(level);
+         i < ClusterTree::level_begin(level + 1); ++i)
+      ladder[level - 1] = std::max(ladder[level - 1], rank(i));
+  return ladder;
+}
+
+template <typename T>
+index_t HodlrMatrix<T>::max_rank() const {
+  index_t r = 0;
+  for (index_t i = 1; i < tree_.num_nodes(); ++i) r = std::max(r, rank(i));
+  return r;
+}
+
+template <typename T>
+void HodlrMatrix<T>::apply(ConstMatrixView<T> x, MatrixView<T> y) const {
+  HODLRX_REQUIRE(x.rows == n() && y.rows == n() && x.cols == y.cols,
+                 "apply: shape mismatch");
+  // y = D x on the leaves (disjoint row ranges -> parallel).
+  parallel_for(tree_.num_leaves(), [&](index_t j) {
+    const ClusterNode& c = tree_.node(tree_.leaf(j));
+    gemm(Op::N, Op::N, T{1}, leaf_d_[j],
+         x.block(c.begin, 0, c.size(), x.cols), T{0},
+         y.block(c.begin, 0, c.size(), y.cols));
+  });
+  // Off-diagonal contributions, one level at a time (row ranges within a
+  // level are disjoint, so each level parallelizes cleanly).
+  for (index_t level = 1; level <= tree_.depth(); ++level) {
+    const index_t begin = ClusterTree::level_begin(level);
+    const index_t count = ClusterTree::nodes_at_level(level);
+    parallel_for(count, [&](index_t k) {
+      const index_t nu = begin + k;
+      const index_t sib = ClusterTree::sibling(nu);
+      if (rank(nu) == 0) return;
+      const ClusterNode& rowc = tree_.node(nu);
+      const ClusterNode& colc = tree_.node(sib);
+      // y(I_nu) += U_nu (V_sib^H x(I_sib)).
+      Matrix<T> tmp(rank(nu), x.cols);
+      gemm(Op::C, Op::N, T{1}, ConstMatrixView<T>(v_[sib]),
+           x.block(colc.begin, 0, colc.size(), x.cols), T{0}, tmp.view());
+      gemm(Op::N, Op::N, T{1}, ConstMatrixView<T>(u_[nu]),
+           ConstMatrixView<T>(tmp), T{1},
+           y.block(rowc.begin, 0, rowc.size(), y.cols));
+    });
+  }
+}
+
+template <typename T>
+Matrix<T> HodlrMatrix<T>::to_dense() const {
+  Matrix<T> a(n(), n());
+  for (index_t j = 0; j < tree_.num_leaves(); ++j) {
+    const ClusterNode& c = tree_.node(tree_.leaf(j));
+    copy(ConstMatrixView<T>(leaf_d_[j]),
+         a.block(c.begin, c.begin, c.size(), c.size()));
+  }
+  for (index_t nu = 1; nu < tree_.num_nodes(); ++nu) {
+    if (rank(nu) == 0) continue;
+    const index_t sib = ClusterTree::sibling(nu);
+    const ClusterNode& rowc = tree_.node(nu);
+    const ClusterNode& colc = tree_.node(sib);
+    gemm(Op::N, Op::C, T{1}, ConstMatrixView<T>(u_[nu]),
+         ConstMatrixView<T>(v_[sib]), T{0},
+         a.block(rowc.begin, colc.begin, rowc.size(), colc.size()));
+  }
+  return a;
+}
+
+template <typename T>
+std::size_t HodlrMatrix<T>::bytes() const {
+  std::size_t b = 0;
+  for (const auto& d : leaf_d_) b += d.bytes();
+  for (const auto& m : u_) b += m.bytes();
+  for (const auto& m : v_) b += m.bytes();
+  return b;
+}
+
+template class HodlrMatrix<float>;
+template class HodlrMatrix<double>;
+template class HodlrMatrix<std::complex<float>>;
+template class HodlrMatrix<std::complex<double>>;
+
+}  // namespace hodlrx

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "core/options.hpp"
+#include "lowrank/generator.hpp"
+#include "lowrank/lowrank.hpp"
+#include "tree/cluster_tree.hpp"
+
+/// \file hodlr.hpp
+/// The HODLR matrix representation (Definition 2): per-node low-rank bases
+/// for every sibling off-diagonal block plus dense leaf diagonal blocks.
+///
+/// Storage convention for a sibling pair (a, b) with blocks
+///   A(I_a, I_b) = U_a V_b^H   and   A(I_b, I_a) = U_b V_a^H:
+/// node `nu` owns U_nu (|I_nu| x rank(nu)) and V_nu
+/// (|I_nu| x rank(sibling(nu))), where rank(nu) is the rank of the block
+/// whose ROWS live on nu.
+
+namespace hodlrx {
+
+template <typename T>
+class HodlrMatrix {
+ public:
+  /// Compress `g` (square, indexed compatibly with `tree`) into HODLR form
+  /// with rook-pivoted ACA per off-diagonal block; blocks are processed in
+  /// parallel. Throws if ACA fails to reach the tolerance within the cap.
+  static HodlrMatrix build(const MatrixGenerator<T>& g, const ClusterTree& tree,
+                           const BuildOptions& opt = {});
+
+  /// Wrap a dense matrix (tests, small problems).
+  static HodlrMatrix build_from_dense(ConstMatrixView<T> a,
+                                      const ClusterTree& tree,
+                                      const BuildOptions& opt = {});
+
+  const ClusterTree& tree() const { return tree_; }
+  index_t n() const { return tree_.n(); }
+  index_t depth() const { return tree_.depth(); }
+
+  /// U basis of node `nu` (empty for the root).
+  const Matrix<T>& u(index_t nu) const { return u_[nu]; }
+  /// V basis of node `nu` (empty for the root).
+  const Matrix<T>& v(index_t nu) const { return v_[nu]; }
+  Matrix<T>& u(index_t nu) { return u_[nu]; }
+  Matrix<T>& v(index_t nu) { return v_[nu]; }
+  /// Rank of the off-diagonal block whose rows live on node `nu`.
+  index_t rank(index_t nu) const { return u_[nu].cols(); }
+  /// Dense diagonal block of the j-th leaf.
+  const Matrix<T>& leaf_block(index_t j) const { return leaf_d_[j]; }
+  Matrix<T>& leaf_block(index_t j) { return leaf_d_[j]; }
+
+  /// Maximum off-diagonal rank per level (level 1..L; the paper's appendix
+  /// rank ladders). Entry [0] corresponds to level 1.
+  std::vector<index_t> rank_ladder() const;
+  /// Maximum rank over all blocks (the HODLR rank of Definition 2).
+  index_t max_rank() const;
+
+  /// y = A * x for nrhs columns (used for residual checks; OpenMP inside).
+  void apply(ConstMatrixView<T> x, MatrixView<T> y) const;
+
+  /// Dense reconstruction (small-N validation only).
+  Matrix<T> to_dense() const;
+
+  /// Bytes of the representation (the paper's `mem` column counts this
+  /// plus the factorization's K matrices).
+  std::size_t bytes() const;
+
+ private:
+  ClusterTree tree_;
+  std::vector<Matrix<T>> u_, v_;     // per node id; [0] unused
+  std::vector<Matrix<T>> leaf_d_;    // per leaf index
+
+  template <typename U>
+  friend struct PackedHodlr;
+};
+
+}  // namespace hodlrx

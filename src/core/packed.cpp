@@ -1,0 +1,75 @@
+#include "core/packed.hpp"
+
+#include <complex>
+
+#include "common/error.hpp"
+
+namespace hodlrx {
+
+template <typename T>
+PackedHodlr<T> PackedHodlr<T>::pack(const HodlrMatrix<T>& h) {
+  PackedHodlr<T> p;
+  p.tree = h.tree();
+  p.n = h.n();
+  const index_t depth = p.tree.depth();
+
+  // Per-level maximum ranks and panel offsets.
+  p.level_rank.assign(depth + 1, 0);
+  p.node_rank.assign(p.tree.num_nodes(), 0);
+  for (index_t nu = 1; nu < p.tree.num_nodes(); ++nu) {
+    const index_t level = ClusterTree::level_of(nu);
+    p.node_rank[nu] = h.rank(nu);
+    p.level_rank[level] = std::max(p.level_rank[level], h.rank(nu));
+  }
+  p.col_offset.assign(depth + 2, 0);
+  for (index_t l = 1; l <= depth; ++l)
+    p.col_offset[l + 1] = p.col_offset[l] + p.level_rank[l];
+  p.total_cols = p.col_offset[depth + 1];
+
+  // Uniformity flags (strided-batched eligibility).
+  p.level_uniform.assign(depth + 1, 1);
+  for (index_t l = 0; l <= depth; ++l) {
+    const index_t first = ClusterTree::level_begin(l);
+    for (index_t i = first; i < ClusterTree::level_begin(l + 1); ++i)
+      if (p.tree.node(i).size() != p.tree.node(first).size())
+        p.level_uniform[l] = 0;
+  }
+  p.leaves_uniform = p.level_uniform[depth] != 0;
+
+  // Concatenate the bases; zero padding comes from zero-initialized storage.
+  // U_nu has rank(nu) columns; V_nu has rank(sibling(nu)) columns; both fit
+  // in the level panel because level_rank is the max over the level.
+  p.ubig = Matrix<T>(p.n, p.total_cols);
+  p.vbig = Matrix<T>(p.n, p.total_cols);
+  for (index_t nu = 1; nu < p.tree.num_nodes(); ++nu) {
+    const index_t level = ClusterTree::level_of(nu);
+    const ClusterNode& c = p.tree.node(nu);
+    const Matrix<T>& u = h.u(nu);
+    const Matrix<T>& v = h.v(nu);
+    if (u.cols() > 0)
+      copy(u.view(), p.ubig.block(c.begin, p.col_offset[level], c.size(),
+                                  u.cols()));
+    if (v.cols() > 0)
+      copy(v.view(), p.vbig.block(c.begin, p.col_offset[level], c.size(),
+                                  v.cols()));
+  }
+
+  // Concatenate the leaf diagonal blocks.
+  const index_t leaves = p.tree.num_leaves();
+  p.d_offset.assign(leaves + 1, 0);
+  for (index_t j = 0; j < leaves; ++j) {
+    const index_t sz = p.tree.node(p.tree.leaf(j)).size();
+    p.d_offset[j + 1] = p.d_offset[j] + sz * sz;
+  }
+  p.dbig.assign(p.d_offset[leaves], T{});
+  for (index_t j = 0; j < leaves; ++j)
+    copy(ConstMatrixView<T>(h.leaf_block(j)), p.leaf_view(p.dbig, j));
+  return p;
+}
+
+template struct PackedHodlr<float>;
+template struct PackedHodlr<double>;
+template struct PackedHodlr<std::complex<float>>;
+template struct PackedHodlr<std::complex<double>>;
+
+}  // namespace hodlrx

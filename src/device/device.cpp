@@ -1,0 +1,47 @@
+#include "device/device.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace hodlrx {
+
+DeviceContext& DeviceContext::global() {
+  static DeviceContext ctx;
+  return ctx;
+}
+
+void DeviceContext::alloc_bytes(std::size_t n) {
+  const std::size_t now = live_.fetch_add(n) + n;
+  HODLRX_REQUIRE(now <= capacity_,
+                 "device out of memory: " << now << " bytes live exceeds "
+                                          << capacity_ << " capacity");
+  // Monotone peak update.
+  std::size_t prev = peak_.load();
+  while (prev < now && !peak_.compare_exchange_weak(prev, now)) {
+  }
+}
+
+void DeviceContext::free_bytes(std::size_t n) { live_.fetch_sub(n); }
+
+void DeviceContext::record_launch() {
+  launches_.fetch_add(1);
+  if (launch_latency_us_ > 0.0) {
+    // Busy-wait: sleep granularity is far coarser than a GPU launch.
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto dt = std::chrono::duration<double, std::micro>(
+        launch_latency_us_);
+    while (std::chrono::steady_clock::now() - t0 < dt) {
+    }
+  }
+}
+
+void DeviceContext::reset_counters() {
+  live_ = 0;
+  peak_ = 0;
+  h2d_ = 0;
+  d2h_ = 0;
+  launches_ = 0;
+}
+
+}  // namespace hodlrx

@@ -1,0 +1,44 @@
+#include "kernels/kernels.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <random>
+
+namespace hodlrx {
+
+PointSet uniform_random_points(index_t n, index_t dim, double lo, double hi,
+                               std::uint64_t seed) {
+  PointSet pts(dim, n);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t d = 0; d < dim; ++d) pts.coord(i, d) = dist(rng);
+  return pts;
+}
+
+double min_pairwise_distance(const PointSet& pts) {
+  const index_t n = pts.size();
+  if (n < 2) return 0;
+  if (pts.dim == 1) {
+    std::vector<double> x(pts.xyz);
+    std::sort(x.begin(), x.end());
+    double best = std::numeric_limits<double>::infinity();
+    for (index_t i = 1; i < n; ++i) best = std::min(best, x[i] - x[i - 1]);
+    return best;
+  }
+  // Higher dimensions: nearest neighbor among a bounded window after sorting
+  // along the first coordinate (adequate for the regularization use case).
+  std::vector<index_t> order(n);
+  for (index_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return pts.coord(a, 0) < pts.coord(b, 0);
+  });
+  double best2 = std::numeric_limits<double>::infinity();
+  const index_t window = std::min<index_t>(n - 1, 32);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = i + 1; j <= std::min(n - 1, i + window); ++j)
+      best2 = std::min(best2, pts.dist2(order[i], order[j]));
+  return std::sqrt(best2);
+}
+
+}  // namespace hodlrx

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cmath>
+
+#include "lowrank/generator.hpp"
+#include "tree/points.hpp"
+
+/// \file kernels.hpp
+/// Kernel-matrix generators K(i, j) = k(y_i, y_j) over a point set — the
+/// machine-learning / data-assimilation matrices of paper Sec. I(a).
+/// A CRTP base devirtualizes the per-entry call inside the bulk fills.
+
+namespace hodlrx {
+
+/// CRTP base: Derived must provide `T eval(index_t i, index_t j) const`.
+template <typename T, typename Derived>
+class PointKernelBase : public MatrixGenerator<T> {
+ public:
+  explicit PointKernelBase(PointSet pts) : pts_(std::move(pts)) {}
+
+  index_t rows() const final { return pts_.size(); }
+  index_t cols() const final { return pts_.size(); }
+  T entry(index_t i, index_t j) const final { return derived().eval(i, j); }
+  void fill_row(index_t i, index_t j0, index_t j1, T* out) const final {
+    for (index_t j = j0; j < j1; ++j) out[j - j0] = derived().eval(i, j);
+  }
+  void fill_col(index_t j, index_t i0, index_t i1, T* out) const final {
+    for (index_t i = i0; i < i1; ++i) out[i - i0] = derived().eval(i, j);
+  }
+
+  const PointSet& points() const { return pts_; }
+
+ protected:
+  const Derived& derived() const { return static_cast<const Derived&>(*this); }
+  PointSet pts_;
+};
+
+/// Gaussian kernel exp(-|r|^2 / (2 s^2)) with a diagonal shift (ridge).
+template <typename T>
+class GaussianKernel final : public PointKernelBase<T, GaussianKernel<T>> {
+ public:
+  GaussianKernel(PointSet pts, double scale, double diag_shift = 0)
+      : PointKernelBase<T, GaussianKernel<T>>(std::move(pts)),
+        inv2s2_(1.0 / (2 * scale * scale)),
+        shift_(diag_shift) {}
+  T eval(index_t i, index_t j) const {
+    const double d2 = this->pts_.dist2(i, j);
+    const double v = std::exp(-d2 * inv2s2_);
+    return static_cast<T>(i == j ? v + shift_ : v);
+  }
+
+ private:
+  double inv2s2_, shift_;
+};
+
+/// Exponential kernel exp(-|r| / s) (Matern nu=1/2).
+template <typename T>
+class ExponentialKernel final
+    : public PointKernelBase<T, ExponentialKernel<T>> {
+ public:
+  ExponentialKernel(PointSet pts, double scale, double diag_shift = 0)
+      : PointKernelBase<T, ExponentialKernel<T>>(std::move(pts)),
+        inv_s_(1.0 / scale),
+        shift_(diag_shift) {}
+  T eval(index_t i, index_t j) const {
+    const double r = std::sqrt(this->pts_.dist2(i, j));
+    const double v = std::exp(-r * inv_s_);
+    return static_cast<T>(i == j ? v + shift_ : v);
+  }
+
+ private:
+  double inv_s_, shift_;
+};
+
+/// Matern nu=3/2 kernel (1 + sqrt(3) r/s) exp(-sqrt(3) r/s).
+template <typename T>
+class Matern32Kernel final : public PointKernelBase<T, Matern32Kernel<T>> {
+ public:
+  Matern32Kernel(PointSet pts, double scale, double diag_shift = 0)
+      : PointKernelBase<T, Matern32Kernel<T>>(std::move(pts)),
+        inv_s_(std::sqrt(3.0) / scale),
+        shift_(diag_shift) {}
+  T eval(index_t i, index_t j) const {
+    const double t = std::sqrt(this->pts_.dist2(i, j)) * inv_s_;
+    const double v = (1 + t) * std::exp(-t);
+    return static_cast<T>(i == j ? v + shift_ : v);
+  }
+
+ private:
+  double inv_s_, shift_;
+};
+
+/// Matern nu=5/2 kernel (1 + t + t^2/3) exp(-t), t = sqrt(5) r/s.
+template <typename T>
+class Matern52Kernel final : public PointKernelBase<T, Matern52Kernel<T>> {
+ public:
+  Matern52Kernel(PointSet pts, double scale, double diag_shift = 0)
+      : PointKernelBase<T, Matern52Kernel<T>>(std::move(pts)),
+        inv_s_(std::sqrt(5.0) / scale),
+        shift_(diag_shift) {}
+  T eval(index_t i, index_t j) const {
+    const double t = std::sqrt(this->pts_.dist2(i, j)) * inv_s_;
+    const double v = (1 + t + t * t / 3.0) * std::exp(-t);
+    return static_cast<T>(i == j ? v + shift_ : v);
+  }
+
+ private:
+  double inv_s_, shift_;
+};
+
+/// Inverse multiquadric 1 / sqrt(1 + (r/s)^2).
+template <typename T>
+class InverseMultiquadricKernel final
+    : public PointKernelBase<T, InverseMultiquadricKernel<T>> {
+ public:
+  InverseMultiquadricKernel(PointSet pts, double scale, double diag_shift = 0)
+      : PointKernelBase<T, InverseMultiquadricKernel<T>>(std::move(pts)),
+        inv_s2_(1.0 / (scale * scale)),
+        shift_(diag_shift) {}
+  T eval(index_t i, index_t j) const {
+    const double v = 1.0 / std::sqrt(1.0 + this->pts_.dist2(i, j) * inv_s2_);
+    return static_cast<T>(i == j ? v + shift_ : v);
+  }
+
+ private:
+  double inv_s2_, shift_;
+};
+
+/// Uniform random points in [lo, hi]^dim (the paper's Sec. IV-A setup is
+/// dim=1, lo=-1, hi=1).
+PointSet uniform_random_points(index_t n, index_t dim, double lo, double hi,
+                               std::uint64_t seed);
+
+/// Minimum pairwise distance |r|_min; exact O(n log n) for dim=1, sampled
+/// for higher dimensions (used for the RPY regularization a = |r|_min / 2).
+double min_pairwise_distance(const PointSet& pts);
+
+}  // namespace hodlrx

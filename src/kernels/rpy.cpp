@@ -1,0 +1,55 @@
+#include "kernels/rpy.hpp"
+
+#include <complex>
+
+namespace hodlrx {
+
+template <typename T>
+RpyKernel3D<T>::RpyKernel3D(PointSet pts, RpyParams params)
+    : pts_(std::move(pts)), p_(params) {
+  HODLRX_REQUIRE(pts_.dim == 3, "RpyKernel3D needs 3-D points");
+  if (p_.a <= 0) p_.a = 0.5 * min_pairwise_distance(pts_);
+  HODLRX_REQUIRE(p_.a > 0, "RpyKernel3D: coincident points");
+  far_coef_ = p_.kT / (8 * kPi * p_.eta);
+  near_coef_ = p_.kT / (6 * kPi * p_.eta * p_.a);
+}
+
+template <typename T>
+T RpyKernel3D<T>::entry(index_t i, index_t j) const {
+  const index_t pi = i / 3, di = i % 3;
+  const index_t pj = j / 3, dj = j % 3;
+  const double delta = (di == dj) ? 1.0 : 0.0;
+  if (pi == pj) return static_cast<T>(near_coef_ * delta);
+
+  double rv[3];
+  for (int d = 0; d < 3; ++d) rv[d] = pts_.coord(pi, d) - pts_.coord(pj, d);
+  const double r2 = rv[0] * rv[0] + rv[1] * rv[1] + rv[2] * rv[2];
+  const double r = std::sqrt(r2);
+  const double rr = rv[di] * rv[dj];  // r (x) r component
+
+  if (r >= 2 * p_.a) {
+    const double hat = rr / r2;
+    const double c = 2 * p_.a * p_.a / (3 * r2);
+    return static_cast<T>(far_coef_ / r * (delta + hat + c * (delta - 3 * hat)));
+  }
+  return static_cast<T>(near_coef_ * ((1.0 - 9.0 * r / (32.0 * p_.a)) * delta +
+                                      3.0 / (32.0 * p_.a) * rr / r));
+}
+
+Rpy3DTree build_rpy3d_tree(const PointSet& pts, index_t leaf_particles) {
+  GeometricTree g = build_kd_tree(pts, leaf_particles);
+  Rpy3DTree out;
+  out.perm = std::move(g.perm);
+  out.points = std::move(g.points);
+  // Scale every node range by the 3 DOFs per particle.
+  std::vector<ClusterNode> nodes(g.tree.num_nodes());
+  for (index_t i = 0; i < g.tree.num_nodes(); ++i)
+    nodes[i] = {3 * g.tree.node(i).begin, 3 * g.tree.node(i).end};
+  out.tree = ClusterTree::from_ranges(std::move(nodes), g.tree.depth());
+  return out;
+}
+
+template class RpyKernel3D<float>;
+template class RpyKernel3D<double>;
+
+}  // namespace hodlrx

@@ -1,0 +1,83 @@
+#pragma once
+
+#include "kernels/kernels.hpp"
+#include "tree/cluster_tree.hpp"
+
+/// \file rpy.hpp
+/// The Rotne-Prager-Yamakawa (RPY) tensor kernel of paper eq. (18), used in
+/// Brownian-dynamics simulations (Sec. IV-A). Two variants:
+///
+///  - `RpyKernel1D`: the paper's benchmark configuration — points drawn
+///    uniformly from [-1, 1] (so r is a scalar and the tensor collapses to a
+///    scalar kernel), k = T = eta = 1, a = |r|_min / 2;
+///  - `RpyKernel3D`: the full 3x3 tensor over points in R^3, giving a
+///    3N x 3N block matrix (three degrees of freedom per particle).
+
+namespace hodlrx {
+
+struct RpyParams {
+  double kT = 1.0;   ///< k * T
+  double eta = 1.0;  ///< viscosity
+  double a = 0.0;    ///< bead radius (0: derive as |r|_min / 2)
+};
+
+/// Scalar RPY kernel on 1-D points (the tensor collapses: r^ (x) r^ = 1).
+template <typename T>
+class RpyKernel1D final : public PointKernelBase<T, RpyKernel1D<T>> {
+ public:
+  RpyKernel1D(PointSet pts, RpyParams params = {})
+      : PointKernelBase<T, RpyKernel1D<T>>(std::move(pts)), p_(params) {
+    HODLRX_REQUIRE(this->pts_.dim == 1, "RpyKernel1D needs 1-D points");
+    if (p_.a <= 0) p_.a = 0.5 * min_pairwise_distance(this->pts_);
+    HODLRX_REQUIRE(p_.a > 0, "RpyKernel1D: coincident points");
+    far_coef_ = p_.kT / (8 * kPi * p_.eta);
+    near_coef_ = p_.kT / (6 * kPi * p_.eta * p_.a);
+  }
+
+  T eval(index_t i, index_t j) const {
+    const double r = std::abs(this->pts_.coord(i, 0) - this->pts_.coord(j, 0));
+    if (r >= 2 * p_.a)
+      return static_cast<T>(far_coef_ / r *
+                            (2.0 - 4.0 * p_.a * p_.a / (3.0 * r * r)));
+    return static_cast<T>(near_coef_ * (1.0 - 3.0 * r / (16.0 * p_.a)));
+  }
+
+  const RpyParams& params() const { return p_; }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+  RpyParams p_;
+  double far_coef_ = 0, near_coef_ = 0;
+};
+
+/// Full 3x3 RPY tensor over 3-D points: a 3N x 3N generator; index i maps
+/// to particle i/3, Cartesian component i%3.
+template <typename T>
+class RpyKernel3D final : public MatrixGenerator<T> {
+ public:
+  explicit RpyKernel3D(PointSet pts, RpyParams params = {});
+
+  index_t rows() const override { return 3 * pts_.size(); }
+  index_t cols() const override { return 3 * pts_.size(); }
+  T entry(index_t i, index_t j) const override;
+
+  const RpyParams& params() const { return p_; }
+  const PointSet& points() const { return pts_; }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+  PointSet pts_;
+  RpyParams p_;
+  double far_coef_ = 0, near_coef_ = 0;
+};
+
+/// Build a geometric cluster tree over particles and scale the index ranges
+/// by 3 so sibling blocks respect particle boundaries (3 DOFs per point).
+struct Rpy3DTree {
+  ClusterTree tree;           ///< over the 3N matrix indices
+  std::vector<index_t> perm;  ///< particle permutation (length N)
+  PointSet points;            ///< permuted particles
+};
+Rpy3DTree build_rpy3d_tree(const PointSet& pts, index_t leaf_particles);
+
+}  // namespace hodlrx

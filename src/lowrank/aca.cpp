@@ -1,0 +1,189 @@
+#include "lowrank/aca.hpp"
+
+#include <cmath>
+#include <complex>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hodlrx {
+
+namespace {
+
+/// argmax |x[i]| over i not in `used`; returns -1 when all used or all zero.
+template <typename T>
+index_t argmax_unused(const std::vector<T>& x, const std::vector<char>& used) {
+  index_t best = -1;
+  real_t<T> best_v = 0;
+  for (index_t i = 0; i < static_cast<index_t>(x.size()); ++i) {
+    if (used[i]) continue;
+    const real_t<T> v = abs_s(x[i]);
+    if (best < 0 || v > best_v) {
+      best = i;
+      best_v = v;
+    }
+  }
+  return (best >= 0 && best_v > real_t<T>{0}) ? best : -1;
+}
+
+}  // namespace
+
+template <typename T>
+AcaResult<T> aca(const MatrixGenerator<T>& g, index_t row0, index_t col0,
+                 index_t m, index_t n, const AcaOptions& opt) {
+  using R = real_t<T>;
+  AcaResult<T> out;
+  const index_t rmax =
+      std::min({m, n, opt.max_rank < 0 ? std::min(m, n) : opt.max_rank});
+  if (m == 0 || n == 0 || rmax == 0) {
+    out.factor.u = Matrix<T>(m, 0);
+    out.factor.v = Matrix<T>(n, 0);
+    return out;
+  }
+
+  // Crosses accumulated column-wise; copied into the factor at the end.
+  std::vector<std::vector<T>> us, vs;  // u: length m, v: length n (A=sum u v^H)
+  std::vector<char> row_used(m, 0), col_used(n, 0);
+  std::vector<T> row(n), col(m);
+  std::mt19937_64 rng(opt.seed);
+
+  R frob2 = 0;  // running ||A_k||_F^2 estimate
+  index_t next_row = 0;
+  bool converged = false;
+
+  while (static_cast<index_t>(us.size()) < rmax) {
+    // --- residual row at next_row -----------------------------------------
+    index_t i = next_row;
+    if (i < 0 || i >= m || row_used[i]) {
+      i = -1;
+      for (index_t t = 0; t < m; ++t)
+        if (!row_used[t]) {
+          i = t;
+          break;
+        }
+      if (i < 0) {  // all rows consumed: the cross interpolates every row
+        converged = true;
+        break;
+      }
+    }
+    auto residual_row = [&](index_t ri) {
+      g.fill_row(row0 + ri, col0, col0 + n, row.data());
+      for (std::size_t k = 0; k < us.size(); ++k) {
+        const T uik = us[k][ri];
+        if (uik == T{}) continue;
+        const T* __restrict__ vk = vs[k].data();
+        for (index_t j = 0; j < n; ++j) row[j] -= uik * conj_s(vk[j]);
+      }
+    };
+    auto residual_col = [&](index_t cj) {
+      g.fill_col(col0 + cj, row0, row0 + m, col.data());
+      for (std::size_t k = 0; k < us.size(); ++k) {
+        const T vjk = conj_s(vs[k][cj]);
+        if (vjk == T{}) continue;
+        const T* __restrict__ uk = us[k].data();
+        for (index_t ii = 0; ii < m; ++ii) col[ii] -= uk[ii] * vjk;
+      }
+    };
+
+    residual_row(i);
+    index_t j = argmax_unused(row, col_used);
+    // Restart on a (near-)zero row: try a few random rows before giving up.
+    int restarts = 0;
+    while (j < 0 && restarts < 4) {
+      row_used[i] = 1;
+      index_t cand = static_cast<index_t>(rng() % m);
+      for (index_t t = 0; t < m && row_used[cand]; ++t)
+        cand = (cand + 1) % m;
+      if (row_used[cand]) break;
+      i = cand;
+      residual_row(i);
+      j = argmax_unused(row, col_used);
+      ++restarts;
+    }
+    if (j < 0) {
+      converged = true;  // residual looks numerically zero
+      break;
+    }
+
+    // --- rook refinement: alternate row/column argmax ---------------------
+    for (int rook = 0; rook < opt.rook_iterations; ++rook) {
+      residual_col(j);
+      const index_t i2 = argmax_unused(col, row_used);
+      if (i2 < 0 || i2 == i) break;
+      i = i2;
+      residual_row(i);
+      const index_t j2 = argmax_unused(row, col_used);
+      if (j2 < 0 || j2 == j) break;
+      j = j2;
+    }
+    residual_col(j);
+
+    const T delta = col[i];
+    if (abs_s(delta) == R{0}) {
+      row_used[i] = 1;
+      continue;
+    }
+
+    // New cross: u = residual column, v^H = residual row / delta.
+    std::vector<T> u(col.begin(), col.end());
+    std::vector<T> v(n);
+    const T inv_delta = T{1} / delta;
+    for (index_t t = 0; t < n; ++t) v[t] = conj_s(row[t] * inv_delta);
+
+    // Norm bookkeeping for the stopping criterion:
+    // ||A_k||^2 = ||A_{k-1}||^2 + ||u||^2||v||^2
+    //             + 2 Re sum_l (u_l^H u)(v^H v_l).
+    R unorm2 = 0, vnorm2 = 0;
+    for (index_t t = 0; t < m; ++t) unorm2 += abs2_s(u[t]);
+    for (index_t t = 0; t < n; ++t) vnorm2 += abs2_s(v[t]);
+    R cross = 0;
+    for (std::size_t k = 0; k < us.size(); ++k) {
+      T uu{}, vv{};
+      for (index_t t = 0; t < m; ++t) uu += conj_s(us[k][t]) * u[t];
+      for (index_t t = 0; t < n; ++t) vv += conj_s(v[t]) * vs[k][t];
+      cross += R{2} * ScalarTraits<T>::real(uu * vv);
+    }
+    frob2 += unorm2 * vnorm2 + cross;
+    frob2 = std::max(frob2, R{0});
+
+    us.push_back(std::move(u));
+    vs.push_back(std::move(v));
+    row_used[i] = 1;
+    col_used[j] = 1;
+
+    const R step = std::sqrt(unorm2 * vnorm2);
+    if (step <= static_cast<R>(opt.tol) * std::sqrt(frob2)) {
+      converged = true;
+      break;
+    }
+
+    // Next pivot row: largest |u| entry among unused rows.
+    next_row = argmax_unused(us.back(), row_used);
+  }
+
+  const index_t r = static_cast<index_t>(us.size());
+  out.factor.u = Matrix<T>(m, r);
+  out.factor.v = Matrix<T>(n, r);
+  for (index_t k = 0; k < r; ++k) {
+    std::copy(us[k].begin(), us[k].end(), out.factor.u.data() + k * m);
+    std::copy(vs[k].begin(), vs[k].end(), out.factor.v.data() + k * n);
+  }
+  // Hitting the cap is still "converged" when the cap equals full rank.
+  out.converged = converged || rmax == std::min(m, n);
+  return out;
+}
+
+#define HODLRX_INSTANTIATE_ACA(T)                                      \
+  template AcaResult<T> aca<T>(const MatrixGenerator<T>&, index_t,     \
+                               index_t, index_t, index_t,              \
+                               const AcaOptions&);
+
+HODLRX_INSTANTIATE_ACA(float)
+HODLRX_INSTANTIATE_ACA(double)
+HODLRX_INSTANTIATE_ACA(std::complex<float>)
+HODLRX_INSTANTIATE_ACA(std::complex<double>)
+
+#undef HODLRX_INSTANTIATE_ACA
+
+}  // namespace hodlrx

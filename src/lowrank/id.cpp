@@ -1,0 +1,55 @@
+#include "lowrank/id.hpp"
+
+#include <complex>
+
+#include "common/error.hpp"
+
+namespace hodlrx {
+
+template <typename T>
+ColumnID<T> column_id(ConstMatrixView<T> a, real_t<T> tol, index_t max_rank) {
+  ColumnID<T> out;
+  const index_t n = a.cols;
+  CPQRFactors<T> qp = geqp3(a, tol, max_rank);
+  const index_t k = qp.rank;
+  out.skeleton.assign(qp.jpvt.begin(), qp.jpvt.begin() + k);
+
+  // R = [R11 R12] with R11 k x k; X = [I, R11^{-1} R12] un-permuted.
+  out.interp = Matrix<T>(k, n);
+  if (k == 0) return out;
+  Matrix<T> r12(k, n - k);
+  for (index_t j = 0; j < n - k; ++j)
+    for (index_t i = 0; i < k; ++i) r12(i, j) = qp.factors(i, k + j);
+  if (n - k > 0)
+    trsm_left(Uplo::Upper, Diag::NonUnit, qp.factors.block(0, 0, k, k),
+              r12.view());
+  for (index_t i = 0; i < k; ++i) out.interp(i, qp.jpvt[i]) = T{1};
+  for (index_t j = 0; j < n - k; ++j)
+    for (index_t i = 0; i < k; ++i) out.interp(i, qp.jpvt[k + j]) = r12(i, j);
+  return out;
+}
+
+template <typename T>
+RowID<T> row_id(ConstMatrixView<T> a, real_t<T> tol, index_t max_rank) {
+  // Row ID of A == column ID of A^H: A ~= (interp_c)^H * A(skel, :).
+  Matrix<T> ah = transpose(a, /*conjugate=*/true);
+  ColumnID<T> cid = column_id<T>(ah, tol, max_rank);
+  RowID<T> out;
+  out.skeleton = std::move(cid.skeleton);
+  out.interp = transpose(ConstMatrixView<T>(cid.interp), /*conjugate=*/true);
+  return out;
+}
+
+#define HODLRX_INSTANTIATE_ID(T)                                          \
+  template ColumnID<T> column_id<T>(ConstMatrixView<T>, real_t<T>,        \
+                                    index_t);                             \
+  template RowID<T> row_id<T>(ConstMatrixView<T>, real_t<T>, index_t);
+
+HODLRX_INSTANTIATE_ID(float)
+HODLRX_INSTANTIATE_ID(double)
+HODLRX_INSTANTIATE_ID(std::complex<float>)
+HODLRX_INSTANTIATE_ID(std::complex<double>)
+
+#undef HODLRX_INSTANTIATE_ID
+
+}  // namespace hodlrx

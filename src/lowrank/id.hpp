@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "common/lapack.hpp"
+#include "common/matrix.hpp"
+
+/// \file id.hpp
+/// Interpolative decompositions via column-pivoted QR. The row ID is the
+/// primitive behind the proxy-surface compression used for the BIE
+/// experiments (paper Sec. IV-B/IV-C, citing Martinsson's book ch. 17).
+
+namespace hodlrx {
+
+/// Column ID: A ~= A(:, skeleton) * interp, where interp is rank x n with
+/// an identity on the skeleton columns.
+template <typename T>
+struct ColumnID {
+  std::vector<index_t> skeleton;  ///< `rank` column indices into A
+  Matrix<T> interp;               ///< rank x cols(A)
+};
+
+template <typename T>
+ColumnID<T> column_id(ConstMatrixView<T> a, real_t<T> tol, index_t max_rank);
+
+/// Row ID: A ~= interp * A(skeleton, :), interp is m x rank with an
+/// identity on the skeleton rows.
+template <typename T>
+struct RowID {
+  std::vector<index_t> skeleton;  ///< `rank` row indices into A
+  Matrix<T> interp;               ///< rows(A) x rank
+};
+
+template <typename T>
+RowID<T> row_id(ConstMatrixView<T> a, real_t<T> tol, index_t max_rank);
+
+}  // namespace hodlrx

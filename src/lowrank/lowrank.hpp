@@ -1,0 +1,31 @@
+#pragma once
+
+#include "common/blas.hpp"
+#include "common/matrix.hpp"
+
+/// \file lowrank.hpp
+/// The low-rank factor pair `A ~= U V^H` used for every HODLR off-diagonal
+/// block (paper eq. 5: A(I_a, I_b) = U_a V_b^*).
+
+namespace hodlrx {
+
+template <typename T>
+struct LowRankFactor {
+  Matrix<T> u;  ///< m x r
+  Matrix<T> v;  ///< n x r (the block is u * v^H)
+
+  index_t rank() const { return u.cols(); }
+  index_t rows() const { return u.rows(); }
+  index_t cols() const { return v.rows(); }
+
+  /// Dense reconstruction u * v^H (validation helper).
+  Matrix<T> reconstruct() const {
+    Matrix<T> a(rows(), cols());
+    if (rank() > 0) gemm(Op::N, Op::C, T{1}, u, v, T{0}, a.view());
+    return a;
+  }
+
+  std::size_t bytes() const { return u.bytes() + v.bytes(); }
+};
+
+}  // namespace hodlrx

@@ -1,0 +1,56 @@
+#include "lowrank/recompress.hpp"
+
+#include <complex>
+
+#include "common/lapack.hpp"
+
+namespace hodlrx {
+
+template <typename T>
+index_t recompress(LowRankFactor<T>& factor, real_t<T> tol) {
+  using R = real_t<T>;
+  const index_t m = factor.rows(), n = factor.cols(), r = factor.rank();
+  if (r == 0) return 0;
+
+  QRFactors<T> qu = geqrf<T>(factor.u);
+  QRFactors<T> qv = geqrf<T>(factor.v);
+  Matrix<T> ru = r_factor(qu);  // ku x r
+  Matrix<T> rv = r_factor(qv);  // kv x r
+  Matrix<T> core(ru.rows(), rv.rows());
+  gemm(Op::N, Op::C, T{1}, ConstMatrixView<T>(ru), ConstMatrixView<T>(rv),
+       T{0}, core.view());
+  SVDResult<T> svd = jacobi_svd<T>(core);
+
+  index_t k = 0;
+  const R cut = svd.s.empty() ? R{0} : tol * svd.s[0];
+  while (k < static_cast<index_t>(svd.s.size()) && svd.s[k] > cut) ++k;
+
+  Matrix<T> qu_full = thin_q(qu);
+  Matrix<T> qv_full = thin_q(qv);
+  Matrix<T> u_new(m, k), v_new(n, k);
+  if (k > 0) {
+    Matrix<T> wk = to_matrix(svd.u.block(0, 0, svd.u.rows(), k));
+    for (index_t j = 0; j < k; ++j)
+      scale_inplace(T{svd.s[j]}, wk.block(0, j, wk.rows(), 1));
+    gemm(Op::N, Op::N, T{1}, ConstMatrixView<T>(qu_full),
+         ConstMatrixView<T>(wk), T{0}, u_new.view());
+    gemm(Op::N, Op::N, T{1}, ConstMatrixView<T>(qv_full),
+         ConstMatrixView<T>(svd.v.block(0, 0, svd.v.rows(), k)), T{0},
+         v_new.view());
+  }
+  factor.u = std::move(u_new);
+  factor.v = std::move(v_new);
+  return k;
+}
+
+#define HODLRX_INSTANTIATE_RECOMPRESS(T) \
+  template index_t recompress<T>(LowRankFactor<T>&, real_t<T>);
+
+HODLRX_INSTANTIATE_RECOMPRESS(float)
+HODLRX_INSTANTIATE_RECOMPRESS(double)
+HODLRX_INSTANTIATE_RECOMPRESS(std::complex<float>)
+HODLRX_INSTANTIATE_RECOMPRESS(std::complex<double>)
+
+#undef HODLRX_INSTANTIATE_RECOMPRESS
+
+}  // namespace hodlrx

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "lowrank/lowrank.hpp"
+
+/// \file recompress.hpp
+/// Rank re-truncation of a low-rank pair: QR both factors, SVD the small
+/// core, keep singular values above `tol` relative to the largest. ACA
+/// over-estimates ranks slightly; recompression restores near-optimal ones
+/// (this is what keeps the paper's per-level rank ladders tight).
+
+namespace hodlrx {
+
+/// In-place: factor <- truncated factor with V orthonormal.
+/// Returns the new rank.
+template <typename T>
+index_t recompress(LowRankFactor<T>& factor, real_t<T> tol);
+
+}  // namespace hodlrx

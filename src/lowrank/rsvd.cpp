@@ -1,0 +1,74 @@
+#include "lowrank/rsvd.hpp"
+
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace hodlrx {
+
+template <typename T>
+LowRankFactor<T> rsvd(ConstMatrixView<T> a, const RsvdOptions& opt) {
+  using R = real_t<T>;
+  const index_t m = a.rows, n = a.cols;
+  const index_t l = std::min({m, n, opt.rank + opt.oversampling});
+  LowRankFactor<T> out;
+  if (l == 0) {
+    out.u = Matrix<T>(m, 0);
+    out.v = Matrix<T>(n, 0);
+    return out;
+  }
+
+  // Sketch the range: Y = A * G, orthonormalize, optionally power-iterate.
+  Matrix<T> g = random_matrix<T>(n, l, opt.seed);
+  Matrix<T> y(m, l);
+  gemm(Op::N, Op::N, T{1}, a, g, T{0}, y.view());
+  Matrix<T> q = thin_q(geqrf<T>(y));
+  for (int it = 0; it < opt.power_iterations; ++it) {
+    Matrix<T> z(n, q.cols());
+    gemm(Op::C, Op::N, T{1}, a, q, T{0}, z.view());
+    Matrix<T> qz = thin_q(geqrf<T>(z));
+    Matrix<T> y2(m, qz.cols());
+    gemm(Op::N, Op::N, T{1}, a, qz, T{0}, y2.view());
+    q = thin_q(geqrf<T>(y2));
+  }
+
+  // Small problem: B = Q^H A (l x n), SVD(B) = W S V^H, U = Q W.
+  Matrix<T> b(q.cols(), n);
+  gemm(Op::C, Op::N, T{1}, ConstMatrixView<T>(q), a, T{0}, b.view());
+  SVDResult<T> svd = jacobi_svd<T>(b);
+
+  index_t k = std::min<index_t>(opt.rank > 0 ? opt.rank : l,
+                                static_cast<index_t>(svd.s.size()));
+  if (opt.tol > 0 && !svd.s.empty()) {
+    const R cut = static_cast<R>(opt.tol) * svd.s[0];
+    index_t kk = 0;
+    while (kk < k && svd.s[kk] > cut) ++kk;
+    k = kk;
+  }
+
+  out.u = Matrix<T>(m, k);
+  out.v = Matrix<T>(n, k);
+  if (k > 0) {
+    // U = Q * W_k, scaled by the singular values; V = V_k.
+    Matrix<T> wk = to_matrix(svd.u.block(0, 0, svd.u.rows(), k));
+    for (index_t j = 0; j < k; ++j)
+      scale_inplace(T{svd.s[j]}, wk.block(0, j, wk.rows(), 1));
+    gemm(Op::N, Op::N, T{1}, ConstMatrixView<T>(q), ConstMatrixView<T>(wk),
+         T{0}, out.u.view());
+    copy(svd.v.block(0, 0, n, k), out.v.block(0, 0, n, k));
+  }
+  return out;
+}
+
+#define HODLRX_INSTANTIATE_RSVD(T) \
+  template LowRankFactor<T> rsvd<T>(ConstMatrixView<T>, const RsvdOptions&);
+
+HODLRX_INSTANTIATE_RSVD(float)
+HODLRX_INSTANTIATE_RSVD(double)
+HODLRX_INSTANTIATE_RSVD(std::complex<float>)
+HODLRX_INSTANTIATE_RSVD(std::complex<double>)
+
+#undef HODLRX_INSTANTIATE_RSVD
+
+}  // namespace hodlrx

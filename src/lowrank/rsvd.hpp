@@ -1,0 +1,27 @@
+#pragma once
+
+#include "common/lapack.hpp"
+#include "lowrank/lowrank.hpp"
+
+/// \file rsvd.hpp
+/// Randomized low-rank approximation of dense views (Halko-Martinsson-Tropp
+/// style): a Gaussian range sketch, optional power iterations for spectral
+/// decay, then a small deterministic SVD. Used as an alternative compressor
+/// and by tests as an independent check on ACA.
+
+namespace hodlrx {
+
+struct RsvdOptions {
+  index_t rank = 0;          ///< target rank (before truncation)
+  index_t oversampling = 8;  ///< extra sketch columns
+  int power_iterations = 1;  ///< q in (A A^H)^q A
+  std::uint64_t seed = 11;
+  double tol = 0;            ///< if > 0, truncate singular values < tol*s[0]
+};
+
+/// A ~= U diag(s) V^H truncated per options; returned as a LowRankFactor
+/// with the singular values folded into U.
+template <typename T>
+LowRankFactor<T> rsvd(ConstMatrixView<T> a, const RsvdOptions& opt);
+
+}  // namespace hodlrx

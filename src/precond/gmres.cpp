@@ -1,0 +1,154 @@
+#include "precond/gmres.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "common/blas.hpp"
+#include "common/error.hpp"
+
+namespace hodlrx {
+
+namespace {
+
+/// Givens rotation zeroing h1: returns (c, s) with c real.
+template <typename T>
+void make_givens(T h0, T h1, real_t<T>& c, T& s) {
+  using R = real_t<T>;
+  const R n = std::sqrt(abs2_s(h0) + abs2_s(h1));
+  if (n == R{0}) {
+    c = R{1};
+    s = T{};
+    return;
+  }
+  c = abs_s(h0) / n;
+  if (c == R{0}) {
+    s = conj_s(h1) / T{abs_s(h1)};  // h0 == 0
+  } else {
+    s = conj_s(h1) * (h0 / T{abs_s(h0)}) / T{n};
+  }
+}
+
+}  // namespace
+
+template <typename T>
+GmresResult<T> gmres(index_t n, const LinearOp<T>& apply_a,
+                     const LinearOp<T>& precond, const T* b, T* x,
+                     const GmresOptions& opt) {
+  using R = real_t<T>;
+  GmresResult<T> out;
+  const index_t m = std::min(opt.restart, opt.max_iterations);
+  HODLRX_REQUIRE(m > 0 && n > 0, "gmres: bad sizes");
+
+  std::vector<T> r(n), w(n), tmp(n);
+  auto apply_m = [&](const T* in, T* outv) {
+    if (precond) {
+      precond(in, outv);
+    } else {
+      std::copy_n(in, n, outv);
+    }
+  };
+
+  // Preconditioned RHS norm for the relative criterion.
+  apply_m(b, r.data());
+  const R bnorm = norm2(r.data(), n);
+  if (bnorm == R{0}) {
+    std::fill_n(x, n, T{});
+    out.converged = true;
+    return out;
+  }
+
+  Matrix<T> v(n, m + 1);          // Krylov basis
+  Matrix<T> h(m + 1, m);          // Hessenberg
+  std::vector<R> cs(m);
+  std::vector<T> sn(m), g(m + 1);
+
+  index_t total_it = 0;
+  while (total_it < opt.max_iterations) {
+    // r = M^{-1} (b - A x).
+    apply_a(x, tmp.data());
+    for (index_t i = 0; i < n; ++i) tmp[i] = b[i] - tmp[i];
+    apply_m(tmp.data(), r.data());
+    R beta = norm2(r.data(), n);
+    out.relres = beta / bnorm;
+    out.history.push_back(out.relres);
+    if (out.relres <= static_cast<R>(opt.tol)) {
+      out.converged = true;
+      out.iterations = total_it;
+      return out;
+    }
+
+    for (index_t i = 0; i < n; ++i) v(i, 0) = r[i] / T{beta};
+    std::fill(g.begin(), g.end(), T{});
+    g[0] = T{beta};
+
+    index_t j = 0;
+    for (; j < m && total_it < opt.max_iterations; ++j, ++total_it) {
+      // w = M^{-1} A v_j, modified Gram-Schmidt.
+      apply_a(v.data() + j * n, tmp.data());
+      apply_m(tmp.data(), w.data());
+      for (index_t i = 0; i <= j; ++i) {
+        const T hij = dotc(v.data() + i * n, w.data(), n);
+        h(i, j) = hij;
+        for (index_t l = 0; l < n; ++l) w[l] -= hij * v(l, i);
+      }
+      const R hnext = norm2(w.data(), n);
+      h(j + 1, j) = T{hnext};
+      if (hnext > R{0})
+        for (index_t l = 0; l < n; ++l) v(l, j + 1) = w[l] / T{hnext};
+
+      // Apply accumulated rotations, then a new one to zero h(j+1, j).
+      for (index_t i = 0; i < j; ++i) {
+        const T t0 = h(i, j), t1 = h(i + 1, j);
+        h(i, j) = T{cs[i]} * t0 + sn[i] * t1;
+        h(i + 1, j) = -conj_s(sn[i]) * t0 + T{cs[i]} * t1;
+      }
+      make_givens(h(j, j), h(j + 1, j), cs[j], sn[j]);
+      h(j, j) = T{cs[j]} * h(j, j) + sn[j] * h(j + 1, j);
+      h(j + 1, j) = T{};
+      g[j + 1] = -conj_s(sn[j]) * g[j];
+      g[j] = T{cs[j]} * g[j];
+
+      out.relres = abs_s(g[j + 1]) / bnorm;
+      out.history.push_back(out.relres);
+      if (out.relres <= static_cast<R>(opt.tol)) {
+        ++j;
+        break;
+      }
+      if (hnext == R{0}) {  // lucky breakdown
+        ++j;
+        break;
+      }
+    }
+
+    // Back-substitute y from the j x j triangular system, update x.
+    std::vector<T> y(j);
+    for (index_t i = j - 1; i >= 0; --i) {
+      T s = g[i];
+      for (index_t l = i + 1; l < j; ++l) s -= h(i, l) * y[l];
+      y[i] = s / h(i, i);
+    }
+    for (index_t i = 0; i < j; ++i)
+      for (index_t l = 0; l < n; ++l) x[l] += y[i] * v(l, i);
+
+    if (out.relres <= static_cast<R>(opt.tol)) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.iterations = total_it;
+  return out;
+}
+
+#define HODLRX_INSTANTIATE_GMRES(T)                                      \
+  template GmresResult<T> gmres<T>(index_t, const LinearOp<T>&,          \
+                                   const LinearOp<T>&, const T*, T*,     \
+                                   const GmresOptions&);
+
+HODLRX_INSTANTIATE_GMRES(float)
+HODLRX_INSTANTIATE_GMRES(double)
+HODLRX_INSTANTIATE_GMRES(std::complex<float>)
+HODLRX_INSTANTIATE_GMRES(std::complex<double>)
+
+#undef HODLRX_INSTANTIATE_GMRES
+
+}  // namespace hodlrx

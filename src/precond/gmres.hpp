@@ -1,0 +1,42 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+/// \file gmres.hpp
+/// Restarted GMRES with optional left preconditioning. The paper positions
+/// low-accuracy HODLR factorizations as "robust preconditioners" (Secs. I
+/// and IV-C); this module demonstrates that claim: an eps=1e-4 HODLR
+/// factorization typically takes GMRES to 1e-12 residuals in a handful of
+/// iterations on systems that plain GMRES cannot touch.
+
+namespace hodlrx {
+
+/// y <- op(x) for a single column vector of length n.
+template <typename T>
+using LinearOp = std::function<void(const T* x, T* y)>;
+
+struct GmresOptions {
+  index_t max_iterations = 500;
+  index_t restart = 50;
+  double tol = 1e-12;  ///< relative (preconditioned) residual target
+};
+
+template <typename T>
+struct GmresResult {
+  bool converged = false;
+  index_t iterations = 0;
+  real_t<T> relres = 0;                  ///< final relative residual
+  std::vector<real_t<T>> history;        ///< residual per iteration
+};
+
+/// Solve A x = b; `precond` may be empty (no preconditioning). `x` holds the
+/// initial guess on entry and the solution on exit.
+template <typename T>
+GmresResult<T> gmres(index_t n, const LinearOp<T>& apply_a,
+                     const LinearOp<T>& precond, const T* b, T* x,
+                     const GmresOptions& opt = {});
+
+}  // namespace hodlrx

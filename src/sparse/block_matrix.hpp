@@ -1,0 +1,89 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+/// \file block_matrix.hpp
+/// A block-sparse matrix over a fixed block partition: the container behind
+/// the extended sparsification solver of Ho and Greengard (paper Sec.
+/// III-E b and the comparator of Sec. IV-B/IV-C). Blocks are stored in an
+/// ordered map keyed by (row, col) so the elimination can iterate a row or
+/// column without a separate symbolic structure.
+
+namespace hodlrx {
+
+template <typename T>
+class BlockSparseMatrix {
+ public:
+  explicit BlockSparseMatrix(std::vector<index_t> block_sizes)
+      : sizes_(std::move(block_sizes)) {
+    offsets_.resize(sizes_.size() + 1, 0);
+    for (std::size_t i = 0; i < sizes_.size(); ++i)
+      offsets_[i + 1] = offsets_[i] + sizes_[i];
+    col_ids_.resize(sizes_.size());
+  }
+
+  index_t num_blocks() const { return static_cast<index_t>(sizes_.size()); }
+  index_t block_size(index_t b) const { return sizes_[b]; }
+  index_t block_offset(index_t b) const { return offsets_[b]; }
+  index_t n() const { return offsets_.back(); }
+
+  bool has(index_t r, index_t c) const { return blocks_.count({r, c}) > 0; }
+
+  /// Block (r, c); created zero-initialized on first access.
+  Matrix<T>& block(index_t r, index_t c) {
+    auto it = blocks_.find({r, c});
+    if (it == blocks_.end()) {
+      it = blocks_.emplace(std::pair<index_t, index_t>{r, c},
+                           Matrix<T>(sizes_[r], sizes_[c]))
+               .first;
+      col_ids_[c].push_back(r);
+    }
+    return it->second;
+  }
+  const Matrix<T>* find(index_t r, index_t c) const {
+    auto it = blocks_.find({r, c});
+    return it == blocks_.end() ? nullptr : &it->second;
+  }
+
+  /// All column ids with a block in row r (sorted).
+  std::vector<index_t> row_pattern(index_t r) const {
+    std::vector<index_t> out;
+    for (auto it = blocks_.lower_bound({r, -1});
+         it != blocks_.end() && it->first.first == r; ++it)
+      out.push_back(it->first.second);
+    return out;
+  }
+  /// All row ids with a block in column c (insertion order; O(k)).
+  const std::vector<index_t>& col_pattern(index_t c) const {
+    return col_ids_[c];
+  }
+
+  std::size_t num_stored_blocks() const { return blocks_.size(); }
+  std::size_t bytes() const {
+    std::size_t s = 0;
+    for (const auto& [key, blk] : blocks_) s += blk.bytes();
+    return s;
+  }
+
+  /// Dense materialization (validation only).
+  Matrix<T> to_dense() const {
+    Matrix<T> a(n(), n());
+    for (const auto& [key, blk] : blocks_)
+      copy(blk.view(), a.block(offsets_[key.first], offsets_[key.second],
+                               sizes_[key.first], sizes_[key.second]));
+    return a;
+  }
+
+  auto begin() const { return blocks_.begin(); }
+  auto end() const { return blocks_.end(); }
+
+ private:
+  std::vector<index_t> sizes_, offsets_;
+  std::map<std::pair<index_t, index_t>, Matrix<T>> blocks_;
+  std::vector<std::vector<index_t>> col_ids_;  ///< rows present per column
+};
+
+}  // namespace hodlrx

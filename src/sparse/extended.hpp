@@ -1,0 +1,47 @@
+#pragma once
+
+#include "core/hodlr.hpp"
+#include "sparse/block_matrix.hpp"
+
+/// \file extended.hpp
+/// Extended sparsification of a HODLR matrix (paper Sec. III-E b, Example 3
+/// generalized to L levels): the dense system A x = b is embedded into a
+/// larger block-sparse system in the unknowns
+///   [ x_leaf blocks ; w_nu for every non-root node nu ],
+/// where w_nu = V_mu^H x(I_mu) with mu = sibling(nu). Solving the extended
+/// system by block Gaussian elimination in the natural order (leaves first,
+/// then w levels bottom-up) introduces no fill outside per-leaf path
+/// cliques; this is the Ho-Greengard block-sparse solver the paper compares
+/// against.
+
+namespace hodlrx {
+
+/// Block numbering inside the extended system.
+struct ExtendedLayout {
+  index_t num_leaves = 0;
+  index_t num_nodes = 0;  ///< cluster-tree nodes
+  index_t leaf_block(index_t j) const { return j; }
+  index_t w_block(index_t nu) const { return num_leaves + (nu - 1); }
+  index_t num_blocks() const { return num_leaves + num_nodes - 1; }
+};
+
+/// The assembled extended system plus the elimination order.
+template <typename T>
+struct ExtendedSystem {
+  ExtendedLayout layout;
+  BlockSparseMatrix<T> matrix;
+  std::vector<index_t> elimination_order;  ///< natural order (paper IV-B)
+  index_t n_original = 0;                  ///< N of the HODLR matrix
+
+  /// Scatter an N x nrhs right-hand side into the extended length
+  /// (w equations have zero RHS).
+  Matrix<T> extend_rhs(ConstMatrixView<T> b) const;
+  /// Gather the leading N rows (the x unknowns) of an extended vector.
+  Matrix<T> restrict_solution(ConstMatrixView<T> xe) const;
+};
+
+/// Assemble the extended block-sparse system from a HODLR matrix.
+template <typename T>
+ExtendedSystem<T> build_extended_system(const HodlrMatrix<T>& h);
+
+}  // namespace hodlrx

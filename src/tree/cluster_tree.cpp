@@ -1,0 +1,132 @@
+#include "tree/cluster_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hodlrx {
+
+ClusterTree ClusterTree::with_depth(index_t n, index_t depth) {
+  HODLRX_REQUIRE(depth >= 0, "with_depth: negative depth");
+  HODLRX_REQUIRE(n >= (index_t{1} << depth),
+                 "with_depth: n=" << n << " too small for depth " << depth);
+  ClusterTree t;
+  t.n_ = n;
+  t.depth_ = depth;
+  t.nodes_.resize((index_t{2} << depth) - 1);
+  t.nodes_[0] = {0, n};
+  for (index_t i = 0; i < level_begin(depth); ++i) {
+    const ClusterNode& nd = t.nodes_[i];
+    const index_t mid = nd.begin + nd.size() / 2;
+    t.nodes_[left_child(i)] = {nd.begin, mid};
+    t.nodes_[right_child(i)] = {mid, nd.end};
+  }
+  return t;
+}
+
+ClusterTree ClusterTree::uniform(index_t n, index_t leaf_size) {
+  HODLRX_REQUIRE(n > 0 && leaf_size > 0, "uniform: bad arguments");
+  index_t depth = 0;
+  while ((n + (index_t{1} << depth) - 1) / (index_t{1} << depth) > leaf_size)
+    ++depth;
+  // Never split below one point per leaf.
+  while ((index_t{1} << depth) > n) --depth;
+  return with_depth(n, depth);
+}
+
+ClusterTree ClusterTree::from_ranges(std::vector<ClusterNode> nodes,
+                                     index_t depth) {
+  ClusterTree t;
+  t.depth_ = depth;
+  HODLRX_REQUIRE(nodes.size() == static_cast<std::size_t>((index_t{2} << depth) - 1),
+                 "from_ranges: wrong node count for depth " << depth);
+  t.n_ = nodes.empty() ? 0 : nodes[0].size();
+  t.nodes_ = std::move(nodes);
+  t.validate();
+  return t;
+}
+
+index_t ClusterTree::max_leaf_size() const {
+  index_t m = 0;
+  for (index_t j = 0; j < num_leaves(); ++j)
+    m = std::max(m, node(leaf(j)).size());
+  return m;
+}
+
+index_t ClusterTree::min_leaf_size() const {
+  index_t m = n_;
+  for (index_t j = 0; j < num_leaves(); ++j)
+    m = std::min(m, node(leaf(j)).size());
+  return m;
+}
+
+void ClusterTree::validate() const {
+  HODLRX_REQUIRE(nodes_.size() == static_cast<std::size_t>((index_t{2} << depth_) - 1),
+                 "validate: wrong node count");
+  HODLRX_REQUIRE(nodes_[0].begin == 0 && nodes_[0].end == n_,
+                 "validate: root must own the full index set");
+  for (index_t i = 0; i < level_begin(depth_); ++i) {
+    const ClusterNode& nd = nodes_[i];
+    const ClusterNode& l = nodes_[left_child(i)];
+    const ClusterNode& r = nodes_[right_child(i)];
+    HODLRX_REQUIRE(l.begin == nd.begin && l.end == r.begin && r.end == nd.end,
+                   "validate: children of node " << i
+                                                 << " do not partition it");
+    HODLRX_REQUIRE(l.size() > 0 && r.size() > 0,
+                   "validate: empty node under " << i);
+  }
+}
+
+GeometricTree build_kd_tree(const PointSet& pts, index_t leaf_size,
+                            index_t depth) {
+  const index_t n = pts.size();
+  HODLRX_REQUIRE(n > 0, "build_kd_tree: empty point set");
+  if (depth < 0) {
+    depth = 0;
+    while ((n + (index_t{1} << depth) - 1) / (index_t{1} << depth) > leaf_size)
+      ++depth;
+    while ((index_t{1} << depth) > n) --depth;
+  }
+  GeometricTree out;
+  out.tree = ClusterTree::with_depth(n, depth);
+  out.perm.resize(n);
+  std::iota(out.perm.begin(), out.perm.end(), index_t{0});
+
+  // Reorder the permutation level by level so that each node's points are
+  // split by the median of their widest coordinate. The index ranges of the
+  // (already fixed) ClusterTree determine the split position.
+  for (index_t level = 0; level < depth; ++level) {
+    for (index_t i = ClusterTree::level_begin(level);
+         i < ClusterTree::level_begin(level + 1); ++i) {
+      const ClusterNode& nd = out.tree.node(i);
+      const index_t mid = out.tree.node(ClusterTree::left_child(i)).end;
+      // Widest coordinate over this node's points.
+      index_t split_dim = 0;
+      double best_extent = -1;
+      for (index_t d = 0; d < pts.dim; ++d) {
+        double lo = pts.coord(out.perm[nd.begin], d), hi = lo;
+        for (index_t j = nd.begin; j < nd.end; ++j) {
+          const double v = pts.coord(out.perm[j], d);
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        if (hi - lo > best_extent) {
+          best_extent = hi - lo;
+          split_dim = d;
+        }
+      }
+      std::nth_element(out.perm.begin() + nd.begin, out.perm.begin() + mid,
+                       out.perm.begin() + nd.end,
+                       [&](index_t x, index_t y) {
+                         return pts.coord(x, split_dim) <
+                                pts.coord(y, split_dim);
+                       });
+    }
+  }
+  out.points = pts.permuted(out.perm);
+  return out;
+}
+
+}  // namespace hodlrx

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "tree/points.hpp"
+
+/// \file cluster_tree.hpp
+/// The cluster tree of Definition 1: a perfect binary tree over consecutive
+/// index ranges of {0, ..., N-1}. Level l holds 2^l nodes; the two children
+/// of a node partition its range. Heap numbering: root is node 0, children
+/// of node i are 2i+1 and 2i+2.
+
+namespace hodlrx {
+
+struct ClusterNode {
+  index_t begin = 0;  ///< first index (inclusive)
+  index_t end = 0;    ///< one past the last index
+  index_t size() const { return end - begin; }
+};
+
+class ClusterTree {
+ public:
+  /// Build with exactly L levels of splits (2^L leaves). Requires n >= 2^L.
+  static ClusterTree with_depth(index_t n, index_t depth);
+
+  /// Build so that leaves have at most `leaf_size` indices
+  /// (depth = ceil(log2(n / leaf_size))).
+  static ClusterTree uniform(index_t n, index_t leaf_size);
+
+  /// Build from explicit heap-ordered ranges (2^(depth+1) - 1 nodes);
+  /// validates the Definition 1 invariants.
+  static ClusterTree from_ranges(std::vector<ClusterNode> nodes, index_t depth);
+
+  index_t n() const { return n_; }
+  index_t depth() const { return depth_; }  ///< L; levels are 0..L
+  index_t num_nodes() const { return static_cast<index_t>(nodes_.size()); }
+  index_t num_leaves() const { return index_t{1} << depth_; }
+
+  const ClusterNode& node(index_t i) const { return nodes_[i]; }
+
+  // Heap-navigation helpers.
+  static index_t parent(index_t i) { return (i - 1) / 2; }
+  static index_t left_child(index_t i) { return 2 * i + 1; }
+  static index_t right_child(index_t i) { return 2 * i + 2; }
+  static index_t sibling(index_t i) { return (i % 2 == 1) ? i + 1 : i - 1; }
+  static index_t level_begin(index_t level) { return (index_t{1} << level) - 1; }
+  static index_t nodes_at_level(index_t level) { return index_t{1} << level; }
+  static index_t level_of(index_t i) {
+    index_t l = 0;
+    while (level_begin(l + 1) <= i) ++l;
+    return l;
+  }
+  bool is_leaf(index_t i) const { return i >= level_begin(depth_); }
+  /// Node id of the j-th leaf (left to right).
+  index_t leaf(index_t j) const { return level_begin(depth_) + j; }
+
+  index_t max_leaf_size() const;
+  index_t min_leaf_size() const;
+
+  /// Check the Definition 1 invariants; throws hodlrx::Error on violation.
+  void validate() const;
+
+ private:
+  index_t n_ = 0;
+  index_t depth_ = 0;
+  std::vector<ClusterNode> nodes_;
+};
+
+/// A cluster tree built over geometric points, together with the point
+/// permutation that makes every node's points consecutive.
+struct GeometricTree {
+  ClusterTree tree;
+  std::vector<index_t> perm;  ///< sorted_index -> original_index
+  PointSet points;            ///< permuted copy (tree order)
+};
+
+/// Recursive median bisection along the widest coordinate (a k-d tree in the
+/// sense of Sec. II-A). `depth < 0` chooses depth from `leaf_size`.
+GeometricTree build_kd_tree(const PointSet& pts, index_t leaf_size,
+                            index_t depth = -1);
+
+}  // namespace hodlrx

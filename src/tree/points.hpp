@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+
+/// \file points.hpp
+/// A set of N points in R^dim, stored point-major (coordinates of point i
+/// are xyz[dim*i .. dim*i+dim)). Geometry is always double precision even
+/// when the matrix scalar is single/complex.
+
+namespace hodlrx {
+
+struct PointSet {
+  index_t dim = 0;
+  std::vector<double> xyz;  ///< size dim * n
+
+  PointSet() = default;
+  PointSet(index_t dimension, index_t n) : dim(dimension), xyz(dimension * n) {}
+
+  index_t size() const { return dim == 0 ? 0 : static_cast<index_t>(xyz.size()) / dim; }
+  double* point(index_t i) { return xyz.data() + dim * i; }
+  const double* point(index_t i) const { return xyz.data() + dim * i; }
+  double coord(index_t i, index_t d) const { return xyz[dim * i + d]; }
+  double& coord(index_t i, index_t d) { return xyz[dim * i + d]; }
+
+  /// Squared Euclidean distance between points i and j.
+  double dist2(index_t i, index_t j) const {
+    double s = 0;
+    for (index_t d = 0; d < dim; ++d) {
+      const double t = coord(i, d) - coord(j, d);
+      s += t * t;
+    }
+    return s;
+  }
+
+  /// Reorder points by a permutation: out.point(i) = in.point(perm[i]).
+  PointSet permuted(const std::vector<index_t>& perm) const {
+    PointSet out(dim, size());
+    HODLRX_REQUIRE(static_cast<index_t>(perm.size()) == size(),
+                   "permuted: bad permutation size");
+    for (index_t i = 0; i < size(); ++i)
+      for (index_t d = 0; d < dim; ++d) out.coord(i, d) = coord(perm[i], d);
+    return out;
+  }
+};
+
+}  // namespace hodlrx

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "baseline/dense_solver.hpp"
+#include "baseline/recursive_solver.hpp"
+#include "core/factorization.hpp"
+#include "test_util.hpp"
+
+namespace hodlrx {
+namespace {
+
+using test::rel_error;
+
+template <typename T>
+class BaselineTyped : public ::testing::Test {};
+using BaselineTypes = ::testing::Types<double, std::complex<double>>;
+TYPED_TEST_SUITE(BaselineTyped, BaselineTypes);
+
+TYPED_TEST(BaselineTyped, RecursiveSolverMatchesDense) {
+  using T = TypeParam;
+  for (index_t n : {64, 150, 256}) {
+    Matrix<T> a = test::smooth_test_matrix<T>(n, 201 + n);
+    ClusterTree tree = ClusterTree::uniform(n, 20);
+    BuildOptions bopt;
+    bopt.tol = 1e-11;
+    HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, bopt);
+    RecursiveSolver<T> s = RecursiveSolver<T>::factor(h);
+    Matrix<T> b = random_matrix<T>(n, 3, 211 + n);
+    Matrix<T> x = s.solve(b);
+    EXPECT_LE(test::dense_relres<T>(a, x, b), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(Baseline, RecursiveParallelMatchesSerialExecution) {
+  using T = double;
+  const index_t n = 400;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 221);
+  ClusterTree tree = ClusterTree::uniform(n, 32);
+  BuildOptions bopt;
+  bopt.tol = 1e-11;
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, bopt);
+  RecursiveSolver<T>::Options par, ser;
+  ser.parallel = false;
+  RecursiveSolver<T> sp = RecursiveSolver<T>::factor(h, par);
+  RecursiveSolver<T> ss = RecursiveSolver<T>::factor(h, ser);
+  Matrix<T> b = random_matrix<T>(n, 2, 223);
+  EXPECT_LE(rel_error(sp.solve(b), ss.solve(b)), 1e-12);
+}
+
+TEST(Baseline, ThreeImplementationsAgree) {
+  // Recursive per-node solver, serial packed engine, batched packed engine:
+  // three independent code paths, one factorization problem.
+  using T = double;
+  const index_t n = 320;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 231);
+  ClusterTree tree = ClusterTree::uniform(n, 24);
+  BuildOptions bopt;
+  bopt.tol = 1e-11;
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, bopt);
+  PackedHodlr<T> p = PackedHodlr<T>::pack(h);
+  Matrix<T> b = random_matrix<T>(n, 2, 233);
+
+  RecursiveSolver<T> rec = RecursiveSolver<T>::factor(h);
+  FactorOptions so;
+  so.mode = ExecMode::kSerial;
+  auto fs = HodlrFactorization<T>::factor(p, so);
+  auto fb = HodlrFactorization<T>::factor(p, {});
+
+  Matrix<T> x1 = rec.solve(b);
+  Matrix<T> x2 = fs.solve(b);
+  Matrix<T> x3 = fb.solve(b);
+  EXPECT_LE(rel_error(x1, x2), 1e-10);
+  EXPECT_LE(rel_error(x2, x3), 1e-12);
+}
+
+TEST(Baseline, DenseSolverResidual) {
+  using T = double;
+  const index_t n = 120;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 241);
+  DenseSolver<T> s = DenseSolver<T>::factor(a);
+  Matrix<T> b = random_matrix<T>(n, 2, 243);
+  Matrix<T> x = s.solve(b);
+  EXPECT_LE(test::dense_relres<T>(a, x, b), 1e-12);
+  EXPECT_EQ(s.n(), n);
+  EXPECT_GT(s.bytes(), static_cast<std::size_t>(n * n * 8));
+}
+
+TEST(Baseline, DenseSolverFromGenerator) {
+  using T = double;
+  Matrix<T> a = test::smooth_test_matrix<T>(60, 251);
+  DenseGenerator<T> g(to_matrix(a.view()));
+  DenseSolver<T> s = DenseSolver<T>::factor_generator(g);
+  Matrix<T> b = random_matrix<T>(60, 1, 253);
+  EXPECT_LE(test::dense_relres<T>(a, s.solve(b), b), 1e-12);
+}
+
+}  // namespace
+}  // namespace hodlrx

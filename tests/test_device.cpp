@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "device/device.hpp"
+
+namespace hodlrx {
+namespace {
+
+TEST(Device, MemoryAccounting) {
+  DeviceContext& dev = DeviceContext::global();
+  dev.reset_counters();
+  {
+    DeviceAllocation a(1000);
+    EXPECT_EQ(dev.live_bytes(), 1000u);
+    {
+      DeviceAllocation b(500);
+      EXPECT_EQ(dev.live_bytes(), 1500u);
+      EXPECT_EQ(dev.peak_bytes(), 1500u);
+    }
+    EXPECT_EQ(dev.live_bytes(), 1000u);
+  }
+  EXPECT_EQ(dev.live_bytes(), 0u);
+  EXPECT_EQ(dev.peak_bytes(), 1500u);
+}
+
+TEST(Device, MoveSemantics) {
+  DeviceContext& dev = DeviceContext::global();
+  dev.reset_counters();
+  DeviceAllocation a(100);
+  DeviceAllocation b = std::move(a);
+  EXPECT_EQ(dev.live_bytes(), 100u);
+  a = DeviceAllocation(50);
+  EXPECT_EQ(dev.live_bytes(), 150u);
+}
+
+TEST(Device, OutOfMemoryThrows) {
+  DeviceContext& dev = DeviceContext::global();
+  dev.reset_counters();
+  const std::size_t cap = dev.capacity_bytes();
+  dev.set_capacity_bytes(1024);
+  EXPECT_THROW({ DeviceAllocation big(4096); }, Error);
+  dev.set_capacity_bytes(cap);
+  dev.reset_counters();
+}
+
+TEST(Device, TransferModel) {
+  DeviceContext& dev = DeviceContext::global();
+  dev.reset_counters();
+  dev.record_h2d(12ull << 30);  // 12 GiB at 12 GB/s ~ a bit over 1 s
+  EXPECT_EQ(dev.h2d_bytes(), 12ull << 30);
+  const double t = dev.modeled_transfer_seconds(dev.h2d_bytes());
+  EXPECT_GT(t, 1.0);
+  EXPECT_LT(t, 1.2);
+  dev.reset_counters();
+}
+
+TEST(Device, LaunchLatencyInjection) {
+  DeviceContext& dev = DeviceContext::global();
+  dev.reset_counters();
+  dev.set_launch_latency_us(50.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) dev.record_launch();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  dev.set_launch_latency_us(0.0);
+  EXPECT_GE(elapsed, 450e-6);  // 10 x 50 us, with slack
+  EXPECT_EQ(dev.launches(), 10u);
+  dev.reset_counters();
+}
+
+}  // namespace
+}  // namespace hodlrx

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "core/factorization.hpp"
+#include "test_util.hpp"
+
+namespace hodlrx {
+namespace {
+
+using test::rel_error;
+
+struct FactorCase {
+  index_t n;
+  index_t leaf;
+  ExecMode mode;
+  KForm kform;
+};
+
+std::string case_name(const ::testing::TestParamInfo<FactorCase>& info) {
+  const FactorCase& c = info.param;
+  std::string s = "n" + std::to_string(c.n) + "_leaf" + std::to_string(c.leaf);
+  s += c.mode == ExecMode::kSerial ? "_serial" : "_batched";
+  s += c.kform == KForm::kPivoted ? "_piv" : "_nopiv";
+  return s;
+}
+
+class FactorizationSweep : public ::testing::TestWithParam<FactorCase> {};
+
+TEST_P(FactorizationSweep, SolveMatchesDense) {
+  const FactorCase& c = GetParam();
+  using T = double;
+  Matrix<T> a = test::smooth_test_matrix<T>(c.n, 7 + c.n);
+  ClusterTree tree = ClusterTree::uniform(c.n, c.leaf);
+  BuildOptions bopt;
+  bopt.tol = 1e-12;
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, bopt);
+  PackedHodlr<T> p = PackedHodlr<T>::pack(h);
+
+  FactorOptions fopt;
+  fopt.mode = c.mode;
+  fopt.kform = c.kform;
+  HodlrFactorization<T> f = HodlrFactorization<T>::factor(p, fopt);
+
+  Matrix<T> b = random_matrix<T>(c.n, 4, 17 + c.n);
+  Matrix<T> x = f.solve(b);
+  // Residual against the dense matrix (compression 1e-12 dominates).
+  EXPECT_LE(test::dense_relres<T>(a, x, b), 1e-8) << case_name({GetParam(), 0});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, FactorizationSweep,
+    ::testing::Values(
+        FactorCase{64, 16, ExecMode::kSerial, KForm::kPivoted},
+        FactorCase{64, 16, ExecMode::kSerial, KForm::kIdentityDiagonal},
+        FactorCase{64, 16, ExecMode::kBatched, KForm::kPivoted},
+        FactorCase{64, 16, ExecMode::kBatched, KForm::kIdentityDiagonal},
+        FactorCase{100, 12, ExecMode::kSerial, KForm::kPivoted},
+        FactorCase{100, 12, ExecMode::kBatched, KForm::kPivoted},
+        FactorCase{100, 12, ExecMode::kBatched, KForm::kIdentityDiagonal},
+        FactorCase{256, 16, ExecMode::kSerial, KForm::kPivoted},
+        FactorCase{256, 16, ExecMode::kBatched, KForm::kPivoted},
+        FactorCase{256, 32, ExecMode::kBatched, KForm::kPivoted},
+        FactorCase{255, 20, ExecMode::kSerial, KForm::kPivoted},
+        FactorCase{255, 20, ExecMode::kBatched, KForm::kPivoted},
+        FactorCase{512, 64, ExecMode::kBatched, KForm::kPivoted},
+        FactorCase{512, 16, ExecMode::kBatched, KForm::kIdentityDiagonal}),
+    case_name);
+
+template <typename T>
+class FactorTyped : public ::testing::Test {};
+using FactorTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(FactorTyped, FactorTypes);
+
+TYPED_TEST(FactorTyped, AllScalarTypes) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  const index_t n = 192;
+  const double tol = std::is_same_v<R, float> ? 1e-5 : 1e-11;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 23);
+  ClusterTree tree = ClusterTree::uniform(n, 24);
+  BuildOptions bopt;
+  bopt.tol = tol;
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, bopt);
+  PackedHodlr<T> p = PackedHodlr<T>::pack(h);
+  for (ExecMode mode : {ExecMode::kSerial, ExecMode::kBatched}) {
+    FactorOptions fopt;
+    fopt.mode = mode;
+    HodlrFactorization<T> f = HodlrFactorization<T>::factor(p, fopt);
+    Matrix<T> b = random_matrix<T>(n, 2, 29);
+    Matrix<T> x = f.solve(b);
+    EXPECT_LE(test::dense_relres<T>(a, x, b),
+              R(std::is_same_v<R, float> ? 2e-3 : 1e-8));
+  }
+}
+
+TEST(Factorization, SerialAndBatchedProduceSameSolution) {
+  using T = double;
+  const index_t n = 300;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 31);
+  ClusterTree tree = ClusterTree::uniform(n, 25);
+  BuildOptions bopt;
+  bopt.tol = 1e-11;
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, bopt);
+  PackedHodlr<T> p = PackedHodlr<T>::pack(h);
+
+  FactorOptions so;
+  so.mode = ExecMode::kSerial;
+  FactorOptions bo;
+  bo.mode = ExecMode::kBatched;
+  HodlrFactorization<T> fs = HodlrFactorization<T>::factor(p, so);
+  HodlrFactorization<T> fb = HodlrFactorization<T>::factor(p, bo);
+  Matrix<T> b = random_matrix<T>(n, 3, 37);
+  Matrix<T> xs = fs.solve(b);
+  Matrix<T> xb = fb.solve(b);
+  // Same algorithm, same data, different execution engines: results agree
+  // to roundoff accumulation.
+  EXPECT_LE(rel_error(xs, xb), 1e-12);
+}
+
+TEST(Factorization, MultiRhsMatchesSingleRhs) {
+  using T = double;
+  const index_t n = 160, nrhs = 7;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 41);
+  ClusterTree tree = ClusterTree::uniform(n, 16);
+  BuildOptions bopt;
+  bopt.tol = 1e-11;
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, bopt);
+  HodlrFactorization<T> f =
+      HodlrFactorization<T>::factor(PackedHodlr<T>::pack(h), {});
+  Matrix<T> b = random_matrix<T>(n, nrhs, 43);
+  Matrix<T> x_all = f.solve(b);
+  for (index_t j = 0; j < nrhs; ++j) {
+    Matrix<T> xj = f.solve(b.view().block(0, j, n, 1));
+    EXPECT_LE(rel_error<T>(xj.view(), x_all.view().block(0, j, n, 1)), 1e-13);
+  }
+}
+
+TEST(Factorization, DepthZeroDegeneratesToDenseLU) {
+  using T = double;
+  const index_t n = 48;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 51);
+  ClusterTree tree = ClusterTree::with_depth(n, 0);
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, {});
+  for (ExecMode mode : {ExecMode::kSerial, ExecMode::kBatched}) {
+    FactorOptions fopt;
+    fopt.mode = mode;
+    HodlrFactorization<T> f =
+        HodlrFactorization<T>::factor(PackedHodlr<T>::pack(h), fopt);
+    Matrix<T> b = random_matrix<T>(n, 2, 53);
+    Matrix<T> x = f.solve(b);
+    EXPECT_LE(test::dense_relres<T>(a, x, b), 1e-12);
+  }
+}
+
+TEST(Factorization, BlockDiagonalRankZeroLevels) {
+  using T = double;
+  const index_t n = 128;
+  Matrix<T> a(n, n);
+  for (index_t i = 0; i < n; ++i) a(i, i) = 3.0 + 0.01 * i;
+  // Add dense diagonal leaf blocks so leaves are nontrivial.
+  ClusterTree tree = ClusterTree::uniform(n, 16);
+  for (index_t j = 0; j < tree.num_leaves(); ++j) {
+    const ClusterNode& c = tree.node(tree.leaf(j));
+    for (index_t jj = c.begin; jj < c.end; ++jj)
+      for (index_t ii = c.begin; ii < c.end; ++ii)
+        a(ii, jj) += 0.1 / (1.0 + std::abs(ii - jj));
+  }
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, {});
+  EXPECT_EQ(h.max_rank(), 0);
+  for (ExecMode mode : {ExecMode::kSerial, ExecMode::kBatched}) {
+    FactorOptions fopt;
+    fopt.mode = mode;
+    HodlrFactorization<T> f =
+        HodlrFactorization<T>::factor(PackedHodlr<T>::pack(h), fopt);
+    Matrix<T> b = random_matrix<T>(n, 1, 59);
+    Matrix<T> x = f.solve(b);
+    EXPECT_LE(test::dense_relres<T>(a, x, b), 1e-13);
+  }
+}
+
+TEST(Factorization, StreamPolicyMatchesBatchedPolicy) {
+  using T = double;
+  const index_t n = 256;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 61);
+  ClusterTree tree = ClusterTree::uniform(n, 32);
+  BuildOptions bopt;
+  bopt.tol = 1e-11;
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, bopt);
+  PackedHodlr<T> p = PackedHodlr<T>::pack(h);
+  Matrix<T> b = random_matrix<T>(n, 2, 67);
+  Matrix<T> x[3];
+  int idx = 0;
+  for (BatchPolicy pol : {BatchPolicy::kAuto, BatchPolicy::kForceBatched,
+                          BatchPolicy::kForceStream}) {
+    FactorOptions fopt;
+    fopt.policy = pol;
+    HodlrFactorization<T> f = HodlrFactorization<T>::factor(p, fopt);
+    x[idx++] = f.solve(b);
+  }
+  EXPECT_LE(rel_error(x[0], x[1]), 1e-13);
+  EXPECT_LE(rel_error(x[0], x[2]), 1e-13);
+}
+
+TEST(Factorization, MemoryBytesTracked) {
+  using T = double;
+  const index_t n = 256;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 71);
+  ClusterTree tree = ClusterTree::uniform(n, 32);
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, {});
+  PackedHodlr<T> p = PackedHodlr<T>::pack(h);
+  DeviceContext::global().reset_counters();
+  {
+    HodlrFactorization<T> f = HodlrFactorization<T>::factor(p, {});
+    EXPECT_GT(f.bytes(), 0u);
+    EXPECT_EQ(DeviceContext::global().live_bytes(), f.bytes());
+    EXPECT_GE(DeviceContext::global().h2d_bytes(), p.bytes());
+  }
+  EXPECT_EQ(DeviceContext::global().live_bytes(), 0u);
+}
+
+TEST(Factorization, WrongRhsSizeThrows) {
+  using T = double;
+  const index_t n = 64;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 73);
+  ClusterTree tree = ClusterTree::uniform(n, 16);
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, {});
+  HodlrFactorization<T> f =
+      HodlrFactorization<T>::factor(PackedHodlr<T>::pack(h), {});
+  Matrix<T> b(n + 1, 1);
+  EXPECT_THROW(f.solve_inplace(b.view()), Error);
+}
+
+}  // namespace
+}  // namespace hodlrx

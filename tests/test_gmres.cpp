@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/factorization.hpp"
+#include "precond/gmres.hpp"
+#include "test_util.hpp"
+
+namespace hodlrx {
+namespace {
+
+template <typename T>
+LinearOp<T> dense_op(const Matrix<T>& a) {
+  return [&a](const T* x, T* y) {
+    gemv<T>(Op::N, T{1}, a, x, T{0}, y);
+  };
+}
+
+TEST(Gmres, SolvesWellConditionedSystem) {
+  using T = double;
+  const index_t n = 120;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 501);
+  Matrix<T> b = random_matrix<T>(n, 1, 503);
+  std::vector<T> x(n, 0.0);
+  GmresOptions opt;
+  opt.tol = 1e-12;
+  auto res = gmres<T>(n, dense_op(a), {}, b.data(), x.data(), opt);
+  EXPECT_TRUE(res.converged);
+  ConstMatrixView<T> xv(x.data(), n, 1, n);
+  EXPECT_LE(test::dense_relres<T>(a, xv, b), 1e-10);
+}
+
+TEST(Gmres, ComplexSystem) {
+  using T = std::complex<double>;
+  const index_t n = 90;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 511);
+  Matrix<T> b = random_matrix<T>(n, 1, 513);
+  std::vector<T> x(n, T{});
+  GmresOptions opt;
+  opt.tol = 1e-11;
+  auto res = gmres<T>(n, dense_op(a), {}, b.data(), x.data(), opt);
+  EXPECT_TRUE(res.converged);
+  ConstMatrixView<T> xv(x.data(), n, 1, n);
+  EXPECT_LE(test::dense_relres<T>(a, xv, b), 1e-9);
+}
+
+TEST(Gmres, HodlrPreconditionerAccelerates) {
+  // The paper's preconditioner scenario: a low-accuracy HODLR factorization
+  // turns a slowly converging iteration into a few-step one.
+  using T = double;
+  const index_t n = 400;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 521);
+  // Make the system harder: boost the off-diagonal coupling.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      if (i != j) a(i, j) *= 3.0;
+  Matrix<T> b = random_matrix<T>(n, 1, 523);
+
+  ClusterTree tree = ClusterTree::uniform(n, 32);
+  BuildOptions bopt;
+  bopt.tol = 1e-4;  // low-accuracy compression = cheap preconditioner
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, bopt);
+  auto f = HodlrFactorization<T>::factor(PackedHodlr<T>::pack(h), {});
+  LinearOp<T> precond = [&f, n](const T* in, T* out) {
+    std::copy_n(in, n, out);
+    MatrixView<T> v{out, n, 1, n};
+    f.solve_inplace(v);
+  };
+
+  GmresOptions opt;
+  opt.tol = 1e-12;
+  opt.max_iterations = 200;
+  std::vector<T> x0(n, 0.0), x1(n, 0.0);
+  auto plain = gmres<T>(n, dense_op(a), {}, b.data(), x0.data(), opt);
+  auto pre = gmres<T>(n, dense_op(a), precond, b.data(), x1.data(), opt);
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LT(pre.iterations, 15);
+  EXPECT_LT(pre.iterations, plain.iterations);
+  ConstMatrixView<T> xv(x1.data(), n, 1, n);
+  EXPECT_LE(test::dense_relres<T>(a, xv, b), 1e-10);
+}
+
+TEST(Gmres, ZeroRhsShortCircuits) {
+  using T = double;
+  const index_t n = 10;
+  Matrix<T> a = Matrix<T>::identity(n);
+  std::vector<T> b(n, 0.0), x(n, 1.0);
+  auto res = gmres<T>(n, dense_op(a), {}, b.data(), x.data(), {});
+  EXPECT_TRUE(res.converged);
+  for (T v : x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Gmres, RestartStillConverges) {
+  using T = double;
+  const index_t n = 150;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 531);
+  Matrix<T> b = random_matrix<T>(n, 1, 533);
+  std::vector<T> x(n, 0.0);
+  GmresOptions opt;
+  opt.restart = 8;  // force several restart cycles
+  opt.tol = 1e-10;
+  opt.max_iterations = 400;
+  auto res = gmres<T>(n, dense_op(a), {}, b.data(), x.data(), opt);
+  EXPECT_TRUE(res.converged);
+  ConstMatrixView<T> xv(x.data(), n, 1, n);
+  EXPECT_LE(test::dense_relres<T>(a, xv, b), 1e-8);
+}
+
+TEST(Gmres, ResidualHistoryMonotonicWithinCycle) {
+  using T = double;
+  const index_t n = 80;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 541);
+  Matrix<T> b = random_matrix<T>(n, 1, 543);
+  std::vector<T> x(n, 0.0);
+  GmresOptions opt;
+  opt.tol = 1e-13;
+  auto res = gmres<T>(n, dense_op(a), {}, b.data(), x.data(), opt);
+  for (std::size_t i = 2; i < res.history.size(); ++i)
+    EXPECT_LE(res.history[i], res.history[i - 1] * (1 + 1e-12));
+}
+
+}  // namespace
+}  // namespace hodlrx

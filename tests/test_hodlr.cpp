@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/hodlr.hpp"
+#include "kernels/kernels.hpp"
+#include "test_util.hpp"
+
+namespace hodlrx {
+namespace {
+
+using test::rel_error;
+
+template <typename T>
+class HodlrTyped : public ::testing::Test {};
+using HodlrTypes = ::testing::Types<double, std::complex<double>>;
+TYPED_TEST_SUITE(HodlrTyped, HodlrTypes);
+
+TYPED_TEST(HodlrTyped, BuildApproximatesDense) {
+  using T = TypeParam;
+  for (index_t n : {64, 100, 256}) {
+    Matrix<T> a = test::smooth_test_matrix<T>(n, 70 + n);
+    ClusterTree tree = ClusterTree::uniform(n, 16);
+    BuildOptions opt;
+    opt.tol = 1e-10;
+    HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, opt);
+    EXPECT_LE(rel_error(h.to_dense(), a), 1e-8) << "n=" << n;
+  }
+}
+
+TYPED_TEST(HodlrTyped, ApplyMatchesDense) {
+  using T = TypeParam;
+  const index_t n = 200, nrhs = 3;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 77);
+  ClusterTree tree = ClusterTree::uniform(n, 32);
+  BuildOptions opt;
+  opt.tol = 1e-10;
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, opt);
+  Matrix<T> x = random_matrix<T>(n, nrhs, 78);
+  Matrix<T> y(n, nrhs), y_ref(n, nrhs);
+  h.apply(x, y.view());
+  gemm<T>(Op::N, Op::N, T{1}, a, x, T{0}, y_ref.view());
+  EXPECT_LE(rel_error(y, y_ref), 1e-8);
+}
+
+TEST(Hodlr, GaussianKernelRanksAreSmall) {
+  const index_t n = 512;
+  PointSet pts = uniform_random_points(n, 1, -1, 1, 5);
+  GeometricTree g = build_kd_tree(pts, 64);
+  GaussianKernel<double> k(std::move(g.points), 0.5, 1e-2);
+  BuildOptions opt;
+  opt.tol = 1e-10;
+  HodlrMatrix<double> h = HodlrMatrix<double>::build(k, g.tree, opt);
+  // 1-D Gaussian kernel blocks have tiny numerical rank.
+  EXPECT_LE(h.max_rank(), 30);
+  const auto ladder = h.rank_ladder();
+  EXPECT_EQ(static_cast<index_t>(ladder.size()), g.tree.depth());
+}
+
+TEST(Hodlr, DepthZeroIsDense) {
+  const index_t n = 24;
+  Matrix<double> a = test::smooth_test_matrix<double>(n, 80);
+  ClusterTree tree = ClusterTree::with_depth(n, 0);
+  HodlrMatrix<double> h = HodlrMatrix<double>::build_from_dense(a, tree, {});
+  EXPECT_LE(rel_error(h.to_dense(), a), 1e-14);
+  EXPECT_EQ(h.max_rank(), 0);
+}
+
+TEST(Hodlr, BlockDiagonalHasRankZero) {
+  const index_t n = 64;
+  Matrix<double> a(n, n);
+  for (index_t i = 0; i < n; ++i) a(i, i) = 2.0 + i;
+  ClusterTree tree = ClusterTree::uniform(n, 16);
+  HodlrMatrix<double> h = HodlrMatrix<double>::build_from_dense(a, tree, {});
+  EXPECT_EQ(h.max_rank(), 0);
+  EXPECT_LE(rel_error(h.to_dense(), a), 1e-15);
+}
+
+TEST(Hodlr, NonPowerOfTwoSizes) {
+  for (index_t n : {97, 130, 255}) {
+    Matrix<double> a = test::smooth_test_matrix<double>(n, 90 + n);
+    ClusterTree tree = ClusterTree::uniform(n, 20);
+    BuildOptions opt;
+    opt.tol = 1e-10;
+    HodlrMatrix<double> h = HodlrMatrix<double>::build_from_dense(a, tree, opt);
+    EXPECT_LE(rel_error(h.to_dense(), a), 1e-8) << n;
+  }
+}
+
+TEST(Hodlr, BytesIsPlausible) {
+  const index_t n = 256;
+  Matrix<double> a = test::smooth_test_matrix<double>(n, 99);
+  ClusterTree tree = ClusterTree::uniform(n, 32);
+  BuildOptions opt;
+  opt.tol = 1e-8;
+  HodlrMatrix<double> h = HodlrMatrix<double>::build_from_dense(a, tree, opt);
+  EXPECT_GT(h.bytes(), 0u);
+  EXPECT_LT(h.bytes(), a.bytes());  // compression actually compresses
+}
+
+TEST(Hodlr, MismatchedTreeThrows) {
+  Matrix<double> a = test::smooth_test_matrix<double>(32, 1);
+  ClusterTree tree = ClusterTree::uniform(64, 16);
+  EXPECT_THROW(HodlrMatrix<double>::build_from_dense(a, tree, {}), Error);
+}
+
+}  // namespace
+}  // namespace hodlrx

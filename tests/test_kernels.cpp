@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.hpp"
+#include "kernels/rpy.hpp"
+#include "test_util.hpp"
+
+namespace hodlrx {
+namespace {
+
+TEST(Kernels, GaussianBasics) {
+  PointSet pts(1, 3);
+  pts.coord(0, 0) = 0;
+  pts.coord(1, 0) = 1;
+  pts.coord(2, 0) = 2;
+  GaussianKernel<double> k(std::move(pts), 1.0, 0.5);
+  EXPECT_NEAR(k.entry(0, 0), 1.5, 1e-15);              // diag shift
+  EXPECT_NEAR(k.entry(0, 1), std::exp(-0.5), 1e-15);
+  EXPECT_NEAR(k.entry(0, 2), std::exp(-2.0), 1e-15);
+  EXPECT_EQ(k.entry(0, 1), k.entry(1, 0));             // symmetry
+}
+
+TEST(Kernels, FillRowMatchesEntry) {
+  PointSet pts = uniform_random_points(50, 2, -1, 1, 7);
+  Matern32Kernel<double> k(std::move(pts), 0.7);
+  std::vector<double> row(50);
+  k.fill_row(13, 0, 50, row.data());
+  for (index_t j = 0; j < 50; ++j) EXPECT_EQ(row[j], k.entry(13, j));
+  std::vector<double> col(20);
+  k.fill_col(31, 10, 30, col.data());
+  for (index_t i = 0; i < 20; ++i) EXPECT_EQ(col[i], k.entry(10 + i, 31));
+}
+
+TEST(Kernels, MaternLimits) {
+  PointSet pts(1, 2);
+  pts.coord(0, 0) = 0;
+  pts.coord(1, 0) = 0.3;
+  Matern52Kernel<double> k52(pts, 1.0);
+  Matern32Kernel<double> k32(pts, 1.0);
+  ExponentialKernel<double> ke(pts, 1.0);
+  InverseMultiquadricKernel<double> kimq(std::move(pts), 1.0);
+  // All are 1 on the diagonal and decreasing in distance.
+  EXPECT_NEAR(k52.entry(0, 0), 1.0, 1e-15);
+  EXPECT_NEAR(k32.entry(0, 0), 1.0, 1e-15);
+  EXPECT_NEAR(ke.entry(0, 0), 1.0, 1e-15);
+  EXPECT_NEAR(kimq.entry(0, 0), 1.0, 1e-15);
+  EXPECT_LT(k52.entry(0, 1), 1.0);
+  EXPECT_GT(k52.entry(0, 1), 0.0);
+}
+
+TEST(Rpy1D, PaperConfiguration) {
+  // Sec. IV-A: uniform points in [-1, 1], k = T = eta = 1, a = |r|_min / 2.
+  PointSet pts = uniform_random_points(200, 1, -1, 1, 11);
+  const double rmin = min_pairwise_distance(pts);
+  RpyKernel1D<double> k(std::move(pts), {});
+  EXPECT_NEAR(k.params().a, rmin / 2, 1e-15);
+  // Diagonal: kT / (6 pi eta a).
+  const double pi = 3.14159265358979323846;
+  EXPECT_NEAR(k.entry(7, 7), 1.0 / (6 * pi * k.params().a), 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(k.entry(3, 90), k.entry(90, 3), 1e-15);
+}
+
+TEST(Rpy1D, FarFieldFormula) {
+  PointSet pts(1, 2);
+  pts.coord(0, 0) = 0;
+  pts.coord(1, 0) = 1.0;
+  RpyParams prm;
+  prm.a = 0.1;
+  RpyKernel1D<double> k(std::move(pts), prm);
+  const double pi = 3.14159265358979323846;
+  // r = 1 >= 2a: kT/(8 pi eta r) (2 - 4a^2/(3r^2)).
+  const double expect = 1.0 / (8 * pi) * (2.0 - 4 * 0.01 / 3.0);
+  EXPECT_NEAR(k.entry(0, 1), expect, 1e-14);
+}
+
+TEST(Rpy1D, NearFieldContinuity) {
+  // The RPY kernel is continuous at r = 2a.
+  PointSet pts(1, 3);
+  RpyParams prm;
+  prm.a = 0.25;
+  pts.coord(0, 0) = 0;
+  pts.coord(1, 0) = 0.5 - 1e-9;  // just inside
+  pts.coord(2, 0) = 0.5 + 1e-9;  // just outside
+  RpyKernel1D<double> k(std::move(pts), prm);
+  EXPECT_NEAR(k.entry(0, 1), k.entry(0, 2), 1e-7);
+}
+
+TEST(Rpy3D, TensorSymmetries) {
+  PointSet pts = uniform_random_points(20, 3, -1, 1, 13);
+  RpyKernel3D<double> k(std::move(pts), {});
+  EXPECT_EQ(k.rows(), 60);
+  // Global symmetry A(i,j) = A(j,i) (RPY tensor is symmetric).
+  for (index_t i : {0, 5, 17, 43}) {
+    for (index_t j : {2, 11, 30, 59}) {
+      EXPECT_NEAR(k.entry(i, j), k.entry(j, i), 1e-14);
+    }
+  }
+  // Self block is (kT/(6 pi eta a)) I.
+  EXPECT_GT(k.entry(0, 0), 0);
+  EXPECT_EQ(k.entry(0, 1), 0.0);
+  EXPECT_EQ(k.entry(0, 2), 0.0);
+}
+
+TEST(Rpy3D, TreeRespectsParticleBoundaries) {
+  PointSet pts = uniform_random_points(64, 3, -1, 1, 17);
+  Rpy3DTree t = build_rpy3d_tree(pts, 8);
+  t.tree.validate();
+  EXPECT_EQ(t.tree.n(), 3 * 64);
+  for (index_t nu = 0; nu < t.tree.num_nodes(); ++nu) {
+    EXPECT_EQ(t.tree.node(nu).begin % 3, 0);
+    EXPECT_EQ(t.tree.node(nu).end % 3, 0);
+  }
+}
+
+TEST(Kernels, UniformPointsInRange) {
+  PointSet pts = uniform_random_points(1000, 2, -3, 5, 19);
+  EXPECT_EQ(pts.size(), 1000);
+  for (index_t i = 0; i < pts.size(); ++i)
+    for (index_t d = 0; d < 2; ++d) {
+      EXPECT_GE(pts.coord(i, d), -3.0);
+      EXPECT_LE(pts.coord(i, d), 5.0);
+    }
+}
+
+TEST(Kernels, MaterializeMatchesEntries) {
+  PointSet pts = uniform_random_points(30, 1, -1, 1, 23);
+  GaussianKernel<double> k(std::move(pts), 0.4);
+  Matrix<double> a = materialize(k);
+  for (index_t j = 0; j < 30; ++j)
+    for (index_t i = 0; i < 30; ++i) EXPECT_EQ(a(i, j), k.entry(i, j));
+}
+
+}  // namespace
+}  // namespace hodlrx

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "common/lapack.hpp"
+#include "test_util.hpp"
+
+namespace hodlrx {
+namespace {
+
+using test::rel_error;
+
+template <typename T>
+class LapackTyped : public ::testing::Test {};
+using LapackTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(LapackTyped, LapackTypes);
+
+/// Reconstruct P*L*U from getrf output and compare with the original.
+template <typename T>
+void check_lu_reconstruction(const Matrix<T>& a0, const Matrix<T>& lu,
+                             const std::vector<index_t>& ipiv) {
+  const index_t n = a0.rows();
+  Matrix<T> l = Matrix<T>::identity(n);
+  Matrix<T> u(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) l(i, j) = lu(i, j);
+    for (index_t i = 0; i <= j; ++i) u(i, j) = lu(i, j);
+  }
+  Matrix<T> pa = to_matrix(a0.view());
+  laswp(pa.view(), ipiv.data(), n, /*forward=*/true);
+  Matrix<T> rec(n, n);
+  gemm<T>(Op::N, Op::N, T{1}, l, u, T{0}, rec.view());
+  EXPECT_LE(rel_error(rec, pa),
+            real_t<T>(std::is_same_v<real_t<T>, float> ? 1e-4 : 1e-12));
+}
+
+TYPED_TEST(LapackTyped, GetrfReconstruction) {
+  using T = TypeParam;
+  for (index_t n : {1, 2, 7, 33, 64, 100, 200}) {
+    Matrix<T> a = random_matrix<T>(n, n, 100 + n);
+    for (index_t i = 0; i < n; ++i) a(i, i) += T{4};
+    Matrix<T> lu = to_matrix(a.view());
+    std::vector<index_t> ipiv(n);
+    getrf(lu.view(), ipiv.data());
+    check_lu_reconstruction(a, lu, ipiv);
+  }
+}
+
+TYPED_TEST(LapackTyped, GetrsSolves) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  const index_t n = 80, nrhs = 5;
+  Matrix<T> a = random_matrix<T>(n, n, 17);
+  for (index_t i = 0; i < n; ++i) a(i, i) += T{6};
+  Matrix<T> b = random_matrix<T>(n, nrhs, 18);
+  Matrix<T> x = dense_solve<T>(a, b);
+  EXPECT_LE(test::dense_relres<T>(a, x, b),
+            R(std::is_same_v<R, float> ? 1e-4 : 1e-12));
+}
+
+TYPED_TEST(LapackTyped, GetrfNoPivotOnDominantMatrix) {
+  using T = TypeParam;
+  const index_t n = 40;
+  Matrix<T> a = random_matrix<T>(n, n, 19);
+  for (index_t i = 0; i < n; ++i) a(i, i) += T{50};
+  Matrix<T> a0 = to_matrix(a.view());
+  getrf_nopivot(a.view());
+  Matrix<T> b = random_matrix<T>(n, 3, 20);
+  Matrix<T> x = to_matrix(b.view());
+  getrs_nopivot<T>(a, x.view());
+  EXPECT_LE(test::dense_relres<T>(a0, x, b),
+            real_t<T>(std::is_same_v<real_t<T>, float> ? 1e-4 : 1e-12));
+}
+
+TEST(Lapack, GetrfSingularThrows) {
+  Matrix<double> a(3, 3);  // exactly zero matrix
+  std::vector<index_t> ipiv(3);
+  EXPECT_THROW(getrf(a.view(), ipiv.data()), Error);
+}
+
+TEST(Lapack, PivotingHandlesZeroDiagonal) {
+  // [[0, 1], [1, 0]] is singular without pivoting, fine with it.
+  Matrix<double> a(2, 2);
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  Matrix<double> b(2, 1);
+  b(0, 0) = 3;
+  b(1, 0) = 4;
+  Matrix<double> x = dense_solve<double>(a, b);
+  EXPECT_NEAR(x(0, 0), 4.0, 1e-14);
+  EXPECT_NEAR(x(1, 0), 3.0, 1e-14);
+}
+
+TYPED_TEST(LapackTyped, TrsmLowerUpper) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  const index_t n = 30;
+  Matrix<T> a = random_matrix<T>(n, n, 23);
+  for (index_t i = 0; i < n; ++i) a(i, i) += T{8};
+  Matrix<T> b = random_matrix<T>(n, 4, 24);
+
+  // Lower unit solve.
+  Matrix<T> l = Matrix<T>::identity(n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j + 1; i < n; ++i) l(i, j) = a(i, j);
+  Matrix<T> x = to_matrix(b.view());
+  trsm_left<T>(Uplo::Lower, Diag::Unit, l, x.view());
+  EXPECT_LE(test::dense_relres<T>(l, x, b),
+            R(std::is_same_v<R, float> ? 1e-4 : 1e-12));
+
+  // Upper non-unit solve.
+  Matrix<T> u(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) u(i, j) = a(i, j);
+  Matrix<T> y = to_matrix(b.view());
+  trsm_left<T>(Uplo::Upper, Diag::NonUnit, u, y.view());
+  EXPECT_LE(test::dense_relres<T>(u, y, b),
+            R(std::is_same_v<R, float> ? 1e-3 : 1e-11));
+}
+
+TYPED_TEST(LapackTyped, QrOrthonormalAndReconstructs) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  const R tol = std::is_same_v<R, float> ? R(1e-4) : R(1e-12);
+  for (auto [m, n] : {std::pair<index_t, index_t>{40, 12},
+                      {12, 12},
+                      {15, 40}}) {
+    Matrix<T> a = random_matrix<T>(m, n, 31 + m);
+    QRFactors<T> qr = geqrf<T>(a);
+    Matrix<T> q = thin_q(qr);
+    Matrix<T> r = r_factor(qr);
+    const index_t k = std::min(m, n);
+    // Q^H Q = I.
+    Matrix<T> qtq(k, k);
+    gemm<T>(Op::C, Op::N, T{1}, q, q, T{0}, qtq.view());
+    EXPECT_LE(rel_error(qtq, Matrix<T>::identity(k)), tol);
+    // Q R = A.
+    Matrix<T> rec(m, n);
+    gemm<T>(Op::N, Op::N, T{1}, q, r, T{0}, rec.view());
+    EXPECT_LE(rel_error(rec, a), tol);
+  }
+}
+
+TYPED_TEST(LapackTyped, Geqp3RevealsRank) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  // Build an exactly rank-5 matrix.
+  const index_t m = 30, n = 25, r = 5;
+  Matrix<T> u = random_matrix<T>(m, r, 41);
+  Matrix<T> v = random_matrix<T>(n, r, 42);
+  Matrix<T> a(m, n);
+  gemm<T>(Op::N, Op::C, T{1}, u, v, T{0}, a.view());
+  CPQRFactors<T> qp = geqp3<T>(a, R(1e-5), -1);
+  EXPECT_EQ(qp.rank, r);
+}
+
+TYPED_TEST(LapackTyped, JacobiSvdReconstructs) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  const R tol = std::is_same_v<R, float> ? R(2e-4) : R(1e-12);
+  for (auto [m, n] : {std::pair<index_t, index_t>{20, 10},
+                      {10, 20},
+                      {12, 12}}) {
+    Matrix<T> a = random_matrix<T>(m, n, 51 + m);
+    SVDResult<T> svd = jacobi_svd<T>(a);
+    const index_t k = std::min(m, n);
+    // Descending singular values.
+    for (index_t i = 1; i < k; ++i) EXPECT_GE(svd.s[i - 1], svd.s[i]);
+    // U S V^H = A.
+    Matrix<T> us = to_matrix(svd.u.view());
+    for (index_t j = 0; j < k; ++j)
+      scale_inplace(T{svd.s[j]}, us.view().block(0, j, m, 1));
+    Matrix<T> rec(m, n);
+    gemm<T>(Op::N, Op::C, T{1}, us, svd.v, T{0}, rec.view());
+    EXPECT_LE(rel_error(rec, a), tol);
+  }
+}
+
+TEST(Lapack, JacobiSvdMatchesFrobenius) {
+  Matrix<double> a = random_matrix<double>(15, 8, 61);
+  SVDResult<double> svd = jacobi_svd<double>(a);
+  double s2 = 0;
+  for (double s : svd.s) s2 += s * s;
+  EXPECT_NEAR(std::sqrt(s2), norm_fro(a), 1e-12);
+}
+
+TEST(Lapack, LaswpRoundTrip) {
+  Matrix<double> a = random_matrix<double>(6, 3, 71);
+  Matrix<double> b = to_matrix(a.view());
+  std::vector<index_t> ipiv = {3, 4, 2, 5, 4, 5};
+  laswp(b.view(), ipiv.data(), 6, true);
+  laswp(b.view(), ipiv.data(), 6, false);
+  EXPECT_LE(rel_error(a, b), 1e-15);
+}
+
+}  // namespace
+}  // namespace hodlrx

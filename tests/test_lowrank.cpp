@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "lowrank/aca.hpp"
+#include "lowrank/id.hpp"
+#include "lowrank/recompress.hpp"
+#include "lowrank/rsvd.hpp"
+#include "test_util.hpp"
+
+namespace hodlrx {
+namespace {
+
+using test::rel_error;
+
+template <typename T>
+class LowrankTyped : public ::testing::Test {};
+using LowrankTypes = ::testing::Types<double, std::complex<double>>;
+TYPED_TEST_SUITE(LowrankTyped, LowrankTypes);
+
+TYPED_TEST(LowrankTyped, AcaReachesTolerance) {
+  using T = TypeParam;
+  // Off-diagonal block of a smooth kernel: numerically low rank.
+  Matrix<T> full = test::smooth_test_matrix<T>(200, 9);
+  DenseGenerator<T> g(to_matrix(full.view()));
+  AcaOptions opt;
+  opt.tol = 1e-10;
+  AcaResult<T> res = aca<T>(g, 0, 100, 100, 100, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.factor.rank(), 60);
+  Matrix<T> rec = res.factor.reconstruct();
+  Matrix<T> blk = to_matrix(full.view().block(0, 100, 100, 100));
+  EXPECT_LE(rel_error(rec, blk), 1e-8);
+}
+
+TYPED_TEST(LowrankTyped, AcaExactRankMatrix) {
+  using T = TypeParam;
+  const index_t m = 50, n = 40, r = 4;
+  Matrix<T> u = random_matrix<T>(m, r, 1);
+  Matrix<T> v = random_matrix<T>(n, r, 2);
+  Matrix<T> a(m, n);
+  gemm<T>(Op::N, Op::C, T{1}, u, v, T{0}, a.view());
+  DenseGenerator<T> g(to_matrix(a.view()));
+  AcaOptions opt;
+  opt.tol = 1e-12;
+  AcaResult<T> res = aca<T>(g, 0, 0, m, n, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.factor.rank(), r + 2);
+  EXPECT_LE(rel_error(res.factor.reconstruct(), a), 1e-10);
+}
+
+TEST(Aca, ZeroBlockGivesRankZero) {
+  Matrix<double> a(30, 20);
+  DenseGenerator<double> g(std::move(a));
+  AcaOptions opt;
+  AcaResult<double> res = aca<double>(g, 0, 0, 30, 20, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.factor.rank(), 0);
+}
+
+TEST(Aca, MaxRankCapReported) {
+  // A well-conditioned random matrix is NOT low rank; the cap must trip.
+  Matrix<double> a = random_matrix<double>(40, 40, 3);
+  DenseGenerator<double> g(std::move(a));
+  AcaOptions opt;
+  opt.tol = 1e-14;
+  opt.max_rank = 5;
+  AcaResult<double> res = aca<double>(g, 0, 0, 40, 40, opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.factor.rank(), 5);
+}
+
+TEST(Aca, SingleRowColumn) {
+  Matrix<double> a = random_matrix<double>(1, 17, 4);
+  DenseGenerator<double> g(to_matrix(a.view()));
+  AcaOptions opt;
+  AcaResult<double> res = aca<double>(g, 0, 0, 1, 17, opt);
+  EXPECT_LE(rel_error(res.factor.reconstruct(), a), 1e-13);
+}
+
+TYPED_TEST(LowrankTyped, RsvdMatchesTruncatedSvd) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  // Compare against the OPTIMAL rank-k truncation from a full SVD: the
+  // randomized sketch with power iterations must come within a small factor.
+  const index_t n = 60, k = 12;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 13);
+  SVDResult<T> svd = jacobi_svd<T>(a);
+  Matrix<T> uk = to_matrix(svd.u.view().block(0, 0, n, k));
+  for (index_t j = 0; j < k; ++j)
+    scale_inplace(T{svd.s[j]}, uk.view().block(0, j, n, 1));
+  Matrix<T> best(n, n);
+  gemm<T>(Op::N, Op::C, T{1}, uk, svd.v.view().block(0, 0, n, k), T{0},
+          best.view());
+  const R best_err = rel_error(best, a);
+
+  RsvdOptions opt;
+  opt.rank = k;
+  opt.power_iterations = 2;
+  LowRankFactor<T> lr = rsvd<T>(a, opt);
+  EXPECT_EQ(lr.rank(), k);
+  EXPECT_LE(rel_error(lr.reconstruct(), a), 3 * best_err + R(1e-12));
+}
+
+TYPED_TEST(LowrankTyped, RsvdTolTruncation) {
+  using T = TypeParam;
+  const index_t m = 50, r = 6;
+  Matrix<T> u = random_matrix<T>(m, r, 21);
+  Matrix<T> v = random_matrix<T>(m, r, 22);
+  Matrix<T> a(m, m);
+  gemm<T>(Op::N, Op::C, T{1}, u, v, T{0}, a.view());
+  RsvdOptions opt;
+  opt.rank = 20;
+  opt.tol = 1e-10;
+  opt.power_iterations = 2;
+  LowRankFactor<T> lr = rsvd<T>(a, opt);
+  EXPECT_EQ(lr.rank(), r);
+}
+
+TYPED_TEST(LowrankTyped, RecompressReducesRankKeepsProduct) {
+  using T = TypeParam;
+  const index_t m = 64, n = 48, true_r = 5, padded_r = 20;
+  Matrix<T> u0 = random_matrix<T>(m, true_r, 31);
+  Matrix<T> v0 = random_matrix<T>(n, true_r, 32);
+  // Inflate to rank 20 with redundant columns.
+  LowRankFactor<T> lr;
+  lr.u = Matrix<T>(m, padded_r);
+  lr.v = Matrix<T>(n, padded_r);
+  // Duplicate columns: U = [u0 u0 u0 u0], V = [v0 v0 v0 v0] / 4 keeps the
+  // product equal to u0 v0^H while inflating the stored rank.
+  for (index_t c = 0; c < padded_r; ++c) {
+    const index_t src = c % true_r;
+    copy<T>(u0.view().block(0, src, m, 1), lr.u.view().block(0, c, m, 1));
+    copy<T>(v0.view().block(0, src, n, 1), lr.v.view().block(0, c, n, 1));
+  }
+  const T scale = T{1} / T{static_cast<real_t<T>>(padded_r / true_r)};
+  scale_inplace(scale, lr.v.view());
+  Matrix<T> before = lr.reconstruct();
+  const index_t new_rank = recompress(lr, real_t<T>(1e-12));
+  EXPECT_EQ(new_rank, true_r);
+  EXPECT_LE(rel_error(lr.reconstruct(), before), 1e-10);
+}
+
+TEST(Recompress, RankZeroPassthrough) {
+  LowRankFactor<double> lr;
+  lr.u = Matrix<double>(10, 0);
+  lr.v = Matrix<double>(8, 0);
+  EXPECT_EQ(recompress(lr, 1e-10), 0);
+}
+
+TYPED_TEST(LowrankTyped, ColumnIdReconstructs) {
+  using T = TypeParam;
+  const index_t m = 40, n = 30, r = 6;
+  Matrix<T> u = random_matrix<T>(m, r, 41);
+  Matrix<T> v = random_matrix<T>(n, r, 42);
+  Matrix<T> a(m, n);
+  gemm<T>(Op::N, Op::C, T{1}, u, v, T{0}, a.view());
+  ColumnID<T> cid = column_id<T>(a, real_t<T>(1e-10), -1);
+  EXPECT_EQ(static_cast<index_t>(cid.skeleton.size()), r);
+  // A ~= A(:, skel) * interp.
+  Matrix<T> askel(m, r);
+  for (index_t c = 0; c < r; ++c)
+    copy<T>(a.view().block(0, cid.skeleton[c], m, 1),
+            askel.view().block(0, c, m, 1));
+  Matrix<T> rec(m, n);
+  gemm<T>(Op::N, Op::N, T{1}, askel, cid.interp, T{0}, rec.view());
+  EXPECT_LE(rel_error(rec, a), 1e-9);
+}
+
+TYPED_TEST(LowrankTyped, RowIdReconstructs) {
+  using T = TypeParam;
+  const index_t m = 35, n = 45, r = 5;
+  Matrix<T> u = random_matrix<T>(m, r, 51);
+  Matrix<T> v = random_matrix<T>(n, r, 52);
+  Matrix<T> a(m, n);
+  gemm<T>(Op::N, Op::C, T{1}, u, v, T{0}, a.view());
+  RowID<T> rid = row_id<T>(a, real_t<T>(1e-10), -1);
+  EXPECT_EQ(static_cast<index_t>(rid.skeleton.size()), r);
+  Matrix<T> askel(r, n);
+  for (index_t c = 0; c < r; ++c)
+    for (index_t j = 0; j < n; ++j) askel(c, j) = a(rid.skeleton[c], j);
+  Matrix<T> rec(m, n);
+  gemm<T>(Op::N, Op::N, T{1}, rid.interp, askel, T{0}, rec.view());
+  EXPECT_LE(rel_error(rec, a), 1e-9);
+}
+
+}  // namespace
+}  // namespace hodlrx

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/factorization.hpp"
+#include "kernels/kernels.hpp"
+#include "test_util.hpp"
+
+/// Property-style parameterized sweeps: the factor-then-solve residual
+/// bound must hold across a grid of sizes, leaf sizes, tolerances and
+/// kernels — each combination exercises different padding/rank/level
+/// geometry in the packed layout.
+
+namespace hodlrx {
+namespace {
+
+struct PropertyCase {
+  index_t n;
+  index_t leaf;
+  double tol;
+  int kernel;  // 0 gaussian, 1 exponential, 2 matern32, 3 imq
+};
+
+std::string prop_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& c = info.param;
+  const char* kn[] = {"gauss", "exp", "mat32", "imq"};
+  std::string tol = c.tol == 1e-6 ? "tol6" : (c.tol == 1e-10 ? "tol10" : "tolX");
+  return "n" + std::to_string(c.n) + "_leaf" + std::to_string(c.leaf) + "_" +
+         tol + "_" + kn[c.kernel];
+}
+
+class HodlrPropertySweep : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(HodlrPropertySweep, FactorSolveResidualBound) {
+  const PropertyCase& c = GetParam();
+  PointSet pts = uniform_random_points(c.n, 1, -1, 1, 700 + c.n);
+  GeometricTree g = build_kd_tree(pts, c.leaf);
+  std::unique_ptr<MatrixGenerator<double>> k;
+  switch (c.kernel) {
+    case 0:
+      k = std::make_unique<GaussianKernel<double>>(std::move(g.points), 0.5,
+                                                   1e-2);
+      break;
+    case 1:
+      k = std::make_unique<ExponentialKernel<double>>(std::move(g.points), 1.0,
+                                                      1e-2);
+      break;
+    case 2:
+      k = std::make_unique<Matern32Kernel<double>>(std::move(g.points), 0.8,
+                                                   1e-2);
+      break;
+    default:
+      k = std::make_unique<InverseMultiquadricKernel<double>>(
+          std::move(g.points), 1.0, 1e-2);
+  }
+  BuildOptions bopt;
+  bopt.tol = c.tol;
+  HodlrMatrix<double> h = HodlrMatrix<double>::build(*k, g.tree, bopt);
+  auto f = HodlrFactorization<double>::factor(PackedHodlr<double>::pack(h), {});
+  Matrix<double> b = random_matrix<double>(c.n, 1, 710);
+  Matrix<double> x = f.solve(b);
+
+  // Residual vs the HODLR operator must be near machine precision; residual
+  // vs the exact operator is bounded by the compression tolerance times a
+  // modest growth factor.
+  Matrix<double> ax(c.n, 1);
+  h.apply(x, ax.view());
+  axpy<double>(-1.0, b, ax.view());
+  EXPECT_LE(norm_fro(ax) / norm_fro(b), 1e-11);
+
+  Matrix<double> r = to_matrix(b.view());
+  std::vector<double> row(c.n);
+  for (index_t i = 0; i < c.n; ++i) {
+    k->fill_row(i, 0, c.n, row.data());
+    double acc = 0;
+    for (index_t j = 0; j < c.n; ++j) acc += row[j] * x(j, 0);
+    r(i, 0) -= acc;
+  }
+  EXPECT_LE(norm_fro(r) / norm_fro(b), 1e3 * c.tol + 1e-11);
+}
+
+std::vector<PropertyCase> property_grid() {
+  std::vector<PropertyCase> cases;
+  for (index_t n : {128, 300, 512, 777}) {
+    for (index_t leaf : {16, 48}) {
+      for (double tol : {1e-6, 1e-10}) {
+        for (int kernel : {0, 1, 2, 3}) {
+          cases.push_back({n, leaf, tol, kernel});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, HodlrPropertySweep,
+                         ::testing::ValuesIn(property_grid()), prop_name);
+
+/// Rank ladders must be monotone-ish and bounded for smooth 1-D kernels:
+/// Remark 1 in the paper (1-D problems: ranks independent of N).
+TEST(Properties, RanksIndependentOfProblemSize1D) {
+  index_t prev_max_rank = 0;
+  for (index_t n : {256, 512, 1024, 2048}) {
+    PointSet pts = uniform_random_points(n, 1, -1, 1, 42);
+    GeometricTree g = build_kd_tree(pts, 32);
+    ExponentialKernel<double> k(std::move(g.points), 1.0, 1e-2);
+    BuildOptions bopt;
+    bopt.tol = 1e-8;
+    HodlrMatrix<double> h = HodlrMatrix<double>::build(k, g.tree, bopt);
+    const index_t mr = h.max_rank();
+    if (prev_max_rank > 0) {
+      EXPECT_LE(mr, prev_max_rank + 6) << "ranks should not grow with N";
+    }
+    prev_max_rank = std::max(prev_max_rank, mr);
+  }
+  EXPECT_LE(prev_max_rank, 40);
+}
+
+/// Theorem 2: storage scales like O(r N log N) — doubling N should roughly
+/// double the footprint plus a log factor, nowhere near the 4x of dense.
+TEST(Properties, StorageScalesNearLinearly) {
+  std::vector<std::size_t> bytes;
+  for (index_t n : {512, 1024, 2048}) {
+    PointSet pts = uniform_random_points(n, 1, -1, 1, 43);
+    GeometricTree g = build_kd_tree(pts, 32);
+    ExponentialKernel<double> k(std::move(g.points), 1.0, 1e-2);
+    BuildOptions bopt;
+    bopt.tol = 1e-8;
+    HodlrMatrix<double> h = HodlrMatrix<double>::build(k, g.tree, bopt);
+    bytes.push_back(h.bytes());
+  }
+  EXPECT_LT(static_cast<double>(bytes[1]) / bytes[0], 3.0);
+  EXPECT_LT(static_cast<double>(bytes[2]) / bytes[1], 3.0);
+}
+
+/// Solving with the transpose-free two-stage scheme must be deterministic:
+/// factoring the same packed data twice gives bit-identical solutions.
+TEST(Properties, FactorizationIsDeterministic) {
+  const index_t n = 384;
+  Matrix<double> a = test::smooth_test_matrix<double>(n, 51);
+  ClusterTree tree = ClusterTree::uniform(n, 32);
+  BuildOptions bopt;
+  bopt.tol = 1e-10;
+  HodlrMatrix<double> h = HodlrMatrix<double>::build_from_dense(a, tree, bopt);
+  PackedHodlr<double> p = PackedHodlr<double>::pack(h);
+  Matrix<double> b = random_matrix<double>(n, 1, 53);
+  FactorOptions serial;
+  serial.mode = ExecMode::kSerial;
+  auto f1 = HodlrFactorization<double>::factor(p, serial);
+  auto f2 = HodlrFactorization<double>::factor(p, serial);
+  Matrix<double> x1 = f1.solve(b);
+  Matrix<double> x2 = f2.solve(b);
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(x1(i, 0), x2(i, 0));
+}
+
+}  // namespace
+}  // namespace hodlrx

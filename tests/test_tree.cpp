@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.hpp"
+#include "tree/cluster_tree.hpp"
+
+namespace hodlrx {
+namespace {
+
+TEST(ClusterTree, Definition1Invariants) {
+  for (index_t n : {16, 17, 100, 1000}) {
+    for (index_t depth : {0, 1, 3}) {
+      if (n < (index_t{1} << depth)) continue;
+      ClusterTree t = ClusterTree::with_depth(n, depth);
+      t.validate();
+      EXPECT_EQ(t.n(), n);
+      EXPECT_EQ(t.depth(), depth);
+      EXPECT_EQ(t.num_nodes(), (index_t{2} << depth) - 1);
+      EXPECT_EQ(t.num_leaves(), index_t{1} << depth);
+      // Nodes at each level partition [0, n).
+      for (index_t l = 0; l <= depth; ++l) {
+        index_t covered = 0;
+        for (index_t i = ClusterTree::level_begin(l);
+             i < ClusterTree::level_begin(l + 1); ++i)
+          covered += t.node(i).size();
+        EXPECT_EQ(covered, n);
+      }
+    }
+  }
+}
+
+TEST(ClusterTree, PaperFigure1Example) {
+  // Fig. 1: N = 400, two levels; node 2's children are 4 and 5.
+  ClusterTree t = ClusterTree::with_depth(400, 2);
+  // Paper numbering is 1-based (root=1); ours is 0-based (root=0).
+  EXPECT_EQ(t.node(0).size(), 400);          // root: I = 1:400
+  EXPECT_EQ(t.node(1).begin, 0);             // node "2": 1:200
+  EXPECT_EQ(t.node(1).end, 200);
+  EXPECT_EQ(t.node(2).begin, 200);           // node "3": 201:400
+  EXPECT_EQ(t.node(3).end, 100);             // node "4": 1:100
+  EXPECT_EQ(t.node(4).begin, 100);           // node "5": 101:200
+  EXPECT_EQ(ClusterTree::parent(4), 1);
+  EXPECT_EQ(ClusterTree::sibling(3), 4);
+  EXPECT_EQ(ClusterTree::sibling(4), 3);
+  EXPECT_EQ(ClusterTree::left_child(1), 3);
+}
+
+TEST(ClusterTree, UniformLeafSizing) {
+  ClusterTree t = ClusterTree::uniform(1000, 64);
+  EXPECT_LE(t.max_leaf_size(), 64);
+  EXPECT_GE(t.min_leaf_size(), 1);
+  ClusterTree t2 = ClusterTree::uniform(64, 64);
+  EXPECT_EQ(t2.depth(), 0);
+  ClusterTree t3 = ClusterTree::uniform(65, 64);
+  EXPECT_EQ(t3.depth(), 1);
+}
+
+TEST(ClusterTree, TinyNDoesNotOverSplit) {
+  ClusterTree t = ClusterTree::uniform(3, 1);
+  EXPECT_LE(t.depth(), 1);  // cannot make 4 nonempty leaves from 3 indices
+  t.validate();
+}
+
+TEST(ClusterTree, LevelOf) {
+  EXPECT_EQ(ClusterTree::level_of(0), 0);
+  EXPECT_EQ(ClusterTree::level_of(1), 1);
+  EXPECT_EQ(ClusterTree::level_of(2), 1);
+  EXPECT_EQ(ClusterTree::level_of(3), 2);
+  EXPECT_EQ(ClusterTree::level_of(6), 2);
+  EXPECT_EQ(ClusterTree::level_of(7), 3);
+}
+
+TEST(ClusterTree, WithDepthTooDeepThrows) {
+  EXPECT_THROW(ClusterTree::with_depth(3, 2), Error);
+}
+
+TEST(ClusterTree, FromRangesValidates) {
+  std::vector<ClusterNode> bad = {{0, 10}, {0, 6}, {5, 10}};  // overlap
+  EXPECT_THROW(ClusterTree::from_ranges(std::move(bad), 1), Error);
+  std::vector<ClusterNode> good = {{0, 10}, {0, 6}, {6, 10}};
+  ClusterTree t = ClusterTree::from_ranges(std::move(good), 1);
+  EXPECT_EQ(t.n(), 10);
+}
+
+TEST(KdTree, PermutationIsValid) {
+  PointSet pts = uniform_random_points(257, 2, -1, 1, 5);
+  GeometricTree g = build_kd_tree(pts, 32);
+  g.tree.validate();
+  std::vector<char> seen(pts.size(), 0);
+  for (index_t i : g.perm) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, pts.size());
+    EXPECT_FALSE(seen[i]);
+    seen[i] = 1;
+  }
+  // Permuted points match the permutation.
+  for (index_t i = 0; i < pts.size(); ++i)
+    for (index_t d = 0; d < 2; ++d)
+      EXPECT_EQ(g.points.coord(i, d), pts.coord(g.perm[i], d));
+}
+
+TEST(KdTree, SplitsSeparateSpace) {
+  // 1-D points: after the kd build, each node's points form an interval.
+  PointSet pts = uniform_random_points(256, 1, -1, 1, 6);
+  GeometricTree g = build_kd_tree(pts, 16);
+  for (index_t nu = 1; nu < g.tree.num_nodes() - 1; nu += 2) {
+    const ClusterNode& a = g.tree.node(nu);
+    const ClusterNode& b = g.tree.node(nu + 1);
+    double amax = -2, bmin = 2;
+    for (index_t i = a.begin; i < a.end; ++i)
+      amax = std::max(amax, g.points.coord(i, 0));
+    for (index_t i = b.begin; i < b.end; ++i)
+      bmin = std::min(bmin, g.points.coord(i, 0));
+    EXPECT_LE(amax, bmin + 1e-12);
+  }
+}
+
+TEST(Points, DistanceAndPermute) {
+  PointSet p(2, 2);
+  p.coord(0, 0) = 0;
+  p.coord(0, 1) = 0;
+  p.coord(1, 0) = 3;
+  p.coord(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(p.dist2(0, 1), 25.0);
+  PointSet q = p.permuted({1, 0});
+  EXPECT_DOUBLE_EQ(q.coord(0, 0), 3.0);
+}
+
+TEST(Points, MinPairwiseDistance1D) {
+  PointSet p(1, 4);
+  p.coord(0, 0) = 0.0;
+  p.coord(1, 0) = 0.5;
+  p.coord(2, 0) = 0.65;
+  p.coord(3, 0) = 2.0;
+  EXPECT_NEAR(min_pairwise_distance(p), 0.15, 1e-14);
+}
+
+}  // namespace
+}  // namespace hodlrx
