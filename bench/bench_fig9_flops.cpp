@@ -47,6 +47,15 @@ int main(int argc, char** argv) {
   std::printf("%9s  %23s  %23s  %23s  %23s\n", "N", "SerialHODLR fact/solve",
               "GPU HODLR  fact/solve", "SerBlkSprs fact/solve",
               "ParBlkSprs fact/solve");
+  bench::JsonArrayWriter json("BENCH_fig9_flops.json");
+  auto emit = [&json](index_t n, const char* solver, const FlopStats& s) {
+    json.begin_record();
+    json.field("n", n);
+    json.field("solver", solver);
+    json.field("factor_gflops", s.factor_gflops);
+    json.field("solve_gflops", s.solve_gflops);
+    json.end_record();
+  };
 
   for (index_t n = 1 << 12; n <= n_hi; n *= 2) {
     bie::BlobContour contour;
@@ -87,7 +96,13 @@ int main(int argc, char** argv) {
         static_cast<long long>(n), s1.factor_gflops, s1.solve_gflops,
         s2.factor_gflops, s2.solve_gflops, s3.factor_gflops, s3.solve_gflops,
         s4.factor_gflops, s4.solve_gflops);
+    emit(n, "serial_hodlr", s1);
+    emit(n, "gpu_hodlr", s2);
+    emit(n, "serial_block_sparse", s3);
+    emit(n, "parallel_block_sparse", s4);
   }
+  json.close();
+  std::printf("wrote BENCH_fig9_flops.json\n");
   std::printf(
       "\nShape check vs the paper: the batched (GPU-style) solver sustains\n"
       "the highest rate and its utilization grows with N; the solve stage is\n"

@@ -1,0 +1,201 @@
+/// Microbenchmark of the packed, register-tiled GEMM engine against the
+/// seed's naive kernels (replicated here verbatim as the baseline), plus the
+/// batch layer's shared-operand fast path. Emits BENCH_gemm.json so the perf
+/// trajectory is tracked across PRs.
+///
+/// Flags: --repeats N (default 3), --max-n N (cap the large dimension).
+
+#include "bench_util.hpp"
+
+#include "batched/batched_blas.hpp"
+#include "common/gemm_kernel.hpp"
+
+using namespace hodlrx;
+
+namespace {
+
+/// The seed's gemm_nn: row-blocked axpy loops, no packing, no register tile.
+template <typename T>
+void seed_gemm_nn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+                  MatrixView<T> c) {
+  const index_t m = c.rows, n = c.cols, k = a.cols;
+  constexpr index_t kRowBlock = 768;
+  for (index_t ii = 0; ii < m; ii += kRowBlock) {
+    const index_t mb = std::min(kRowBlock, m - ii);
+    for (index_t j = 0; j < n; ++j) {
+      T* __restrict__ cj = c.data + ii + j * c.ld;
+      if (beta == T{}) {
+        for (index_t i = 0; i < mb; ++i) cj[i] = T{};
+      } else if (beta != T{1}) {
+        for (index_t i = 0; i < mb; ++i) cj[i] *= beta;
+      }
+      for (index_t l = 0; l < k; ++l) {
+        const T blj = alpha * b.data[l + j * b.ld];
+        if (blj == T{}) continue;
+        const T* __restrict__ al = a.data + ii + l * a.ld;
+        for (index_t i = 0; i < mb; ++i) cj[i] += al[i] * blj;
+      }
+    }
+  }
+}
+
+/// The seed's generic fallback (element accessors), which served every
+/// combination with opb != N.
+template <typename T>
+void seed_gemm_generic(Op opa, Op opb, T alpha, ConstMatrixView<T> a,
+                       ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  const index_t m = c.rows, n = c.cols, k = op_cols(opa, a);
+  auto at = [&](index_t i, index_t l) -> T {
+    switch (opa) {
+      case Op::N: return a(i, l);
+      case Op::T: return a(l, i);
+      default: return conj_s(a(l, i));
+    }
+  };
+  auto bt = [&](index_t l, index_t j) -> T {
+    switch (opb) {
+      case Op::N: return b(l, j);
+      case Op::T: return b(j, l);
+      default: return conj_s(b(j, l));
+    }
+  };
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) {
+      T s{};
+      for (index_t l = 0; l < k; ++l) s += at(i, l) * bt(l, j);
+      T& cij = c(i, j);
+      cij = (beta == T{}) ? alpha * s : alpha * s + beta * cij;
+    }
+}
+
+template <typename F>
+double time_best(int repeats, F&& f) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer t;
+    f();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+double gflops(index_t m, index_t n, index_t k, double seconds,
+              bool complex_scalar = false) {
+  const double mul = complex_scalar ? 8.0 : 2.0;
+  return mul * static_cast<double>(m) * n * k / seconds / 1e9;
+}
+
+struct Case {
+  const char* name;
+  Op opa, opb;
+  index_t m, n, k;
+};
+
+template <typename T>
+void run_case(const Case& cs, int repeats, bench::JsonArrayWriter& out) {
+  Matrix<T> a = random_matrix<T>(cs.opa == Op::N ? cs.m : cs.k,
+                                 cs.opa == Op::N ? cs.k : cs.m, 11);
+  Matrix<T> b = random_matrix<T>(cs.opb == Op::N ? cs.k : cs.n,
+                                 cs.opb == Op::N ? cs.n : cs.k, 12);
+  Matrix<T> c(cs.m, cs.n);
+  const bool nn = cs.opa == Op::N && cs.opb == Op::N;
+  const double t_seed = time_best(repeats, [&] {
+    if (nn)
+      seed_gemm_nn<T>(T{1}, a, b, T{0}, c.view());
+    else
+      seed_gemm_generic<T>(cs.opa, cs.opb, T{1}, a, b, T{0}, c.view());
+  });
+  const double t_packed = time_best(repeats, [&] {
+    gemm_packed<T>(cs.opa, cs.opb, T{1}, a, b, T{0}, c.view());
+  });
+  const double g_seed = gflops(cs.m, cs.n, cs.k, t_seed, is_complex_v<T>);
+  const double g_packed = gflops(cs.m, cs.n, cs.k, t_packed, is_complex_v<T>);
+  std::printf("%-24s %c%c %5lldx%5lldx%5lld  seed %8.2f GF/s  packed %8.2f"
+              " GF/s  speedup %5.2fx\n",
+              cs.name, static_cast<char>(cs.opa), static_cast<char>(cs.opb),
+              static_cast<long long>(cs.m), static_cast<long long>(cs.n),
+              static_cast<long long>(cs.k), g_seed, g_packed,
+              t_seed / t_packed);
+  out.begin_record();
+  out.field("case", cs.name);
+  out.field("type", scalar_name<T>());
+  out.field("opa", std::string(1, static_cast<char>(cs.opa)));
+  out.field("opb", std::string(1, static_cast<char>(cs.opb)));
+  out.field("m", cs.m);
+  out.field("n", cs.n);
+  out.field("k", cs.k);
+  out.field("seed_gflops", g_seed);
+  out.field("packed_gflops", g_packed);
+  out.field("speedup", t_seed / t_packed);
+  out.end_record();
+}
+
+void run_shared_batch(index_t batch, index_t m, index_t n, index_t k,
+                      int repeats, bench::JsonArrayWriter& out) {
+  Matrix<double> a = random_matrix<double>(m, k * batch, 21);
+  Matrix<double> b = random_matrix<double>(k, n, 22);
+  Matrix<double> c(m, n * batch);
+  // Shared B via stride 0 (one pack per launch) vs the same batch with a
+  // per-problem stride pointing at identical data (packed per problem).
+  const double t_shared = time_best(repeats, [&] {
+    gemm_strided_batched<double>(Op::N, Op::N, m, n, k, 1.0, a.data(), m,
+                                 m * k, b.data(), k, 0, 0.0, c.data(), m,
+                                 m * n, batch);
+  });
+  Matrix<double> breps(k, n * batch);
+  for (index_t i = 0; i < batch; ++i)
+    copy<double>(b.view(), breps.view().block(0, i * n, k, n));
+  const double t_unshared = time_best(repeats, [&] {
+    gemm_strided_batched<double>(Op::N, Op::N, m, n, k, 1.0, a.data(), m,
+                                 m * k, breps.data(), k, k * n, 0.0, c.data(),
+                                 m, m * n, batch);
+  });
+  const double work = 2.0 * batch * m * n * k;
+  std::printf("shared-B batch=%lld %lldx%lldx%lld  shared %8.2f GF/s  "
+              "unshared %8.2f GF/s\n",
+              static_cast<long long>(batch), static_cast<long long>(m),
+              static_cast<long long>(n), static_cast<long long>(k),
+              work / t_shared / 1e9, work / t_unshared / 1e9);
+  out.begin_record();
+  out.field("case", "strided_batched_shared_b");
+  out.field("type", "d");
+  out.field("batch", batch);
+  out.field("m", m);
+  out.field("n", n);
+  out.field("k", k);
+  out.field("shared_gflops", work / t_shared / 1e9);
+  out.field("unshared_gflops", work / t_unshared / 1e9);
+  out.field("speedup", t_unshared / t_shared);
+  out.end_record();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  index_t big = 1024, mid = 512;
+  if (args.max_n > 0) {
+    big = std::min(big, args.max_n);
+    mid = std::min(mid, args.max_n);
+  }
+  std::printf("== bench_gemm: packed engine vs seed kernels "
+              "(single thread for like-for-like) ==\n");
+  bench::JsonArrayWriter out("BENCH_gemm.json");
+
+  run_case<double>({"d_nn_large", Op::N, Op::N, big, big, big}, args.repeats,
+                   out);
+  run_case<double>({"d_nc_generic", Op::N, Op::C, mid, mid, mid},
+                   args.repeats, out);
+  run_case<double>({"d_cc_generic", Op::C, Op::C, mid, mid, mid},
+                   args.repeats, out);
+  run_case<float>({"s_nn_large", Op::N, Op::N, big, big, big}, args.repeats,
+                  out);
+  run_case<std::complex<double>>({"z_cn", Op::C, Op::N, mid / 2, mid / 2,
+                                  mid / 2},
+                                 args.repeats, out);
+  run_shared_batch(/*batch=*/32, /*m=*/64, /*n=*/64, /*k=*/64, args.repeats,
+                   out);
+  out.close();
+  std::printf("wrote BENCH_gemm.json\n");
+  return 0;
+}

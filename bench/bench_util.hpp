@@ -145,4 +145,73 @@ inline void print_rank_ladder(const std::vector<index_t>& ladder) {
   std::printf("\n");
 }
 
+/// Minimal machine-readable output: one JSON file per bench holding an array
+/// of flat records, so the perf trajectory can be tracked across PRs
+/// (`BENCH_gemm.json`, `BENCH_fig9_flops.json`, ...). Usage:
+///   JsonArrayWriter out("BENCH_gemm.json");
+///   out.begin_record();
+///   out.field("case", "nn"); out.field("gflops", 12.3);
+///   out.end_record();
+class JsonArrayWriter {
+ public:
+  explicit JsonArrayWriter(const std::string& path)
+      : f_(std::fopen(path.c_str(), "w")) {
+    if (f_)
+      std::fprintf(f_, "[");
+    else
+      std::fprintf(stderr, "warning: cannot open %s for writing; JSON output disabled\n",
+                   path.c_str());
+  }
+  ~JsonArrayWriter() { close(); }
+  JsonArrayWriter(const JsonArrayWriter&) = delete;
+  JsonArrayWriter& operator=(const JsonArrayWriter&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+
+  void begin_record() {
+    if (!f_) return;
+    std::fprintf(f_, "%s\n  {", first_record_ ? "" : ",");
+    first_record_ = false;
+    first_field_ = true;
+  }
+  void field(const char* name, const char* value) {
+    if (!f_) return;
+    sep();
+    std::fprintf(f_, "\"%s\": \"%s\"", name, value);
+  }
+  void field(const char* name, const std::string& value) {
+    field(name, value.c_str());
+  }
+  void field(const char* name, double value) {
+    if (!f_) return;
+    sep();
+    std::fprintf(f_, "\"%s\": %.6g", name, value);
+  }
+  void field(const char* name, index_t value) {
+    if (!f_) return;
+    sep();
+    std::fprintf(f_, "\"%s\": %lld", name, static_cast<long long>(value));
+  }
+  void end_record() {
+    if (f_) std::fprintf(f_, "}");
+  }
+  void close() {
+    if (f_) {
+      std::fprintf(f_, "\n]\n");
+      std::fclose(f_);
+      f_ = nullptr;
+    }
+  }
+
+ private:
+  void sep() {
+    if (!f_) return;
+    if (!first_field_) std::fprintf(f_, ", ");
+    first_field_ = false;
+  }
+  std::FILE* f_ = nullptr;
+  bool first_record_ = true;
+  bool first_field_ = true;
+};
+
 }  // namespace hodlrx::bench

@@ -3,6 +3,8 @@
 #include <complex>
 
 #include "common/error.hpp"
+#include "common/flops.hpp"
+#include "common/gemm_kernel.hpp"
 #include "common/parallel.hpp"
 #include "device/device.hpp"
 
@@ -10,11 +12,26 @@ namespace hodlrx {
 
 namespace {
 
-bool use_stream_mode(BatchPolicy policy, index_t batch) {
+/// Below this per-problem work (~32^3 multiply-adds) intra-problem threading
+/// costs more in fork/join than it recovers; such problems always run one
+/// thread per problem.
+constexpr index_t kStreamMinWorkPerProblem = 32 * 32 * 32;
+
+/// Stream mode = sequential problems, each using the whole thread pool.
+/// kAuto decides on total work (batch x per-problem work), not batch count
+/// alone: a level with few LARGE problems streams (so its kernels stop
+/// running single-threaded), while few SMALL problems stay batched (the
+/// per-problem fork/join would dominate).
+bool use_stream_mode(BatchPolicy policy, index_t batch, index_t total_work) {
   switch (policy) {
     case BatchPolicy::kForceBatched: return false;
     case BatchPolicy::kForceStream: return true;
-    case BatchPolicy::kAuto: return batch < static_cast<index_t>(max_threads());
+    case BatchPolicy::kAuto: {
+      const index_t nt = max_threads();
+      if (nt <= 1) return false;  // nothing to win from intra-problem threads
+      if (batch >= nt) return false;  // enough problems to fill the pool
+      return total_work / batch >= kStreamMinWorkPerProblem;
+    }
   }
   return false;
 }
@@ -44,7 +61,10 @@ void gemm_batched(Op opa, Op opb, T alpha,
                  "gemm_batched: inconsistent batch sizes");
   if (batch == 0) return;
   DeviceContext::global().record_launch();
-  if (use_stream_mode(policy, batch)) {
+  index_t total_work = 0;
+  for (index_t i = 0; i < batch; ++i)
+    total_work += c[i].rows * c[i].cols * op_cols(opa, a[i]);
+  if (use_stream_mode(policy, batch, total_work)) {
     for (index_t i = 0; i < batch; ++i)
       gemm_parallel(opa, opb, alpha, a[i], b[i], beta, c[i]);
   } else {
@@ -64,6 +84,37 @@ void gemm_strided_batched(Op opa, Op opb, index_t m, index_t n, index_t k,
   DeviceContext::global().record_launch();
   const index_t ar = (opa == Op::N) ? m : k, ac = (opa == Op::N) ? k : m;
   const index_t br = (opb == Op::N) ? k : n, bc = (opb == Op::N) ? n : k;
+  // Shared-operand fast path: a zero stride means every problem in the batch
+  // reads the same operand (the paper's constant-rank padding makes this the
+  // dominant shape). Pack that operand ONCE per launch and let every problem
+  // multiply against the shared pack; only the per-problem operand is packed
+  // per problem (into thread-local workspace).
+  if (policy == BatchPolicy::kAuto && batch > 1 && k > 0 &&
+      (stride_a == 0) != (stride_b == 0) &&
+      use_packed_gemm(opa, opb, m, n, k)) {
+    if (stride_b == 0) {
+      const PackedMatrix<T> bp =
+          pack_b_full<T>(opb, ConstMatrixView<T>(b, br, bc, ldb));
+      parallel_for_static(batch, [&](index_t i) {
+        ConstMatrixView<T> ai(a + i * stride_a, ar, ac, lda);
+        MatrixView<T> ci{c + i * stride_c, m, n, ldc};
+        gemm_prepacked_b<T>(opa, alpha, ai, bp, beta, ci);
+      });
+    } else {
+      const PackedMatrix<T> ap =
+          pack_a_full<T>(opa, ConstMatrixView<T>(a, ar, ac, lda));
+      parallel_for_static(batch, [&](index_t i) {
+        ConstMatrixView<T> bi(b + i * stride_b, br, bc, ldb);
+        MatrixView<T> ci{c + i * stride_c, m, n, ldc};
+        gemm_prepacked_a<T>(ap, alpha, opb, bi, beta, ci);
+      });
+    }
+    FlopCounter::instance().add(
+        FlopCounter::kGemm,
+        static_cast<std::uint64_t>(batch) *
+            FlopCounter::gemm_flops<T>(m, n, k));
+    return;
+  }
   auto run = [&](index_t i, bool threaded) {
     ConstMatrixView<T> ai(a + i * stride_a, ar, ac, lda);
     ConstMatrixView<T> bi(b + i * stride_b, br, bc, ldb);
@@ -73,7 +124,7 @@ void gemm_strided_batched(Op opa, Op opb, index_t m, index_t n, index_t k,
     else
       gemm(opa, opb, alpha, ai, bi, beta, ci);
   };
-  if (use_stream_mode(policy, batch)) {
+  if (use_stream_mode(policy, batch, batch * m * n * k)) {
     for (index_t i = 0; i < batch; ++i) run(i, true);
   } else {
     parallel_for_static(batch, [&](index_t i) { run(i, false); });
@@ -87,8 +138,18 @@ void getrf_batched(std::span<const MatrixView<T>> a,
   const index_t batch = static_cast<index_t>(a.size());
   if (batch == 0) return;
   DeviceContext::global().record_launch();
-  (void)policy;  // LU panels are processed per-problem in either mode.
-  parallel_for_static(batch, [&](index_t i) { getrf(a[i], ipiv[i]); });
+  index_t total_work = 0;
+  for (index_t i = 0; i < batch; ++i) {
+    const index_t p = std::min(a[i].rows, a[i].cols);
+    total_work += p * p * p / 3;  // ~getrf multiply-adds
+  }
+  if (use_stream_mode(policy, batch, total_work)) {
+    // Few large problems: run them one after another, each with a blocked
+    // right-looking LU whose trailing GEMM update uses the whole pool.
+    for (index_t i = 0; i < batch; ++i) getrf_parallel(a[i], ipiv[i]);
+  } else {
+    parallel_for_static(batch, [&](index_t i) { getrf(a[i], ipiv[i]); });
+  }
 }
 
 template <typename T>
@@ -97,8 +158,16 @@ void getrf_nopivot_batched(std::span<const MatrixView<T>> a,
   const index_t batch = static_cast<index_t>(a.size());
   if (batch == 0) return;
   DeviceContext::global().record_launch();
-  (void)policy;
-  parallel_for_static(batch, [&](index_t i) { getrf_nopivot(a[i]); });
+  index_t total_work = 0;
+  for (index_t i = 0; i < batch; ++i) {
+    const index_t p = std::min(a[i].rows, a[i].cols);
+    total_work += p * p * p / 3;
+  }
+  if (use_stream_mode(policy, batch, total_work)) {
+    for (index_t i = 0; i < batch; ++i) getrf_nopivot_parallel(a[i]);
+  } else {
+    parallel_for_static(batch, [&](index_t i) { getrf_nopivot(a[i]); });
+  }
 }
 
 template <typename T>
@@ -110,7 +179,10 @@ void getrs_batched(std::span<const ConstMatrixView<T>> lu,
   const index_t batch = static_cast<index_t>(b.size());
   if (batch == 0) return;
   DeviceContext::global().record_launch();
-  if (use_stream_mode(policy, batch)) {
+  index_t total_work = 0;
+  for (index_t i = 0; i < batch; ++i)
+    total_work += lu[i].rows * lu[i].rows * b[i].cols;
+  if (use_stream_mode(policy, batch, total_work)) {
     for (index_t i = 0; i < batch; ++i) {
       solve_columns_parallel<T>(b[i], [&](MatrixView<T> chunk) {
         getrs(lu[i], ipiv[i], chunk);
@@ -130,7 +202,10 @@ void getrs_nopivot_batched(std::span<const ConstMatrixView<T>> lu,
   const index_t batch = static_cast<index_t>(b.size());
   if (batch == 0) return;
   DeviceContext::global().record_launch();
-  if (use_stream_mode(policy, batch)) {
+  index_t total_work = 0;
+  for (index_t i = 0; i < batch; ++i)
+    total_work += lu[i].rows * lu[i].rows * b[i].cols;
+  if (use_stream_mode(policy, batch, total_work)) {
     for (index_t i = 0; i < batch; ++i) {
       solve_columns_parallel<T>(b[i], [&](MatrixView<T> chunk) {
         getrs_nopivot(lu[i], chunk);

@@ -26,7 +26,8 @@ namespace hodlrx {
 
 /// How a batched call maps onto the thread pool.
 enum class BatchPolicy {
-  kAuto,          ///< stream mode when batch < #threads, else batched
+  kAuto,          ///< decide on total work (batch x per-problem flops): few
+                  ///< LARGE problems stream, everything else runs batched
   kForceBatched,  ///< always one-thread-per-problem
   kForceStream,   ///< always sequential problems with intra-problem threads
 };
@@ -41,6 +42,12 @@ void gemm_batched(Op opa, Op opb, T alpha,
 
 /// Uniform-shape strided batch: problem i uses a + i*stride_a etc.
 /// This is the fast path enabled by the paper's constant-rank padding.
+/// A zero stride marks an operand shared by the whole batch (as in cuBLAS);
+/// under BatchPolicy::kAuto the shared operand is packed ONCE per launch and
+/// reused by every problem (see gemm_kernel.hpp). The factorization sweep
+/// itself has no shared-operand shape today — the intended production caller
+/// is batched randomized compression against a common Gaussian test matrix
+/// (ROADMAP open item).
 template <typename T>
 void gemm_strided_batched(Op opa, Op opb, index_t m, index_t n, index_t k,
                           T alpha, const T* a, index_t lda, index_t stride_a,

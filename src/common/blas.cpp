@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/flops.hpp"
+#include "common/gemm_kernel.hpp"
 #include "common/parallel.hpp"
 
 namespace hodlrx {
@@ -103,6 +104,13 @@ void gemm_generic(Op opa, Op opb, T alpha, ConstMatrixView<T> a,
 template <typename T>
 void gemm_dispatch(Op opa, Op opb, T alpha, ConstMatrixView<T> a,
                    ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  // Above a small-size cutoff every op combination routes into the packed,
+  // register-tiled engine; the naive kernels below only serve problems too
+  // small to amortize packing.
+  if (use_packed_gemm(opa, opb, c.rows, c.cols, op_cols(opa, a))) {
+    gemm_packed(opa, opb, alpha, a, b, beta, c);
+    return;
+  }
   if (opa == Op::N && opb == Op::N) {
     gemm_nn(alpha, a, b, beta, c);
   } else if (opa != Op::N && opb == Op::N) {

@@ -1,0 +1,380 @@
+#include "common/gemm_kernel.hpp"
+
+#include <atomic>
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/workspace.hpp"
+
+namespace hodlrx {
+
+namespace gemm_stats {
+
+namespace {
+std::atomic<std::uint64_t> g_a_packs{0}, g_b_packs{0}, g_shared_packs{0};
+}  // namespace
+
+std::uint64_t a_packs() { return g_a_packs.load(std::memory_order_relaxed); }
+std::uint64_t b_packs() { return g_b_packs.load(std::memory_order_relaxed); }
+std::uint64_t shared_packs() {
+  return g_shared_packs.load(std::memory_order_relaxed);
+}
+void reset() {
+  g_a_packs.store(0, std::memory_order_relaxed);
+  g_b_packs.store(0, std::memory_order_relaxed);
+  g_shared_packs.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gemm_stats
+
+bool use_packed_gemm(Op opa, Op opb, index_t m, index_t n, index_t k) {
+  (void)opa;
+  if (m <= 0 || n <= 0 || k <= 0) return false;
+  const index_t work = m * n * k;
+  // N/N and {T,C}/N have tuned naive kernels in blas.cpp that win while the
+  // packing overhead is not amortized; every other combination previously
+  // fell into the element-accessor generic loop, so the packed engine takes
+  // over almost immediately.
+  const bool has_fast_fallback = (opb == Op::N);
+  return work >= (has_fast_fallback ? index_t{16384} : index_t{4096});
+}
+
+namespace {
+
+inline index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+
+/// Pack the cache block op(A)(i0:i0+mc, p0:p0+kc) into MR-row panels:
+/// dst[(ip*kc + l)*MR + i] = op(A)(i0 + ip*MR + i, p0 + l), zero-padded to a
+/// full MR in the last panel. Transposition/conjugation is absorbed here, so
+/// the micro-kernel always streams dst with unit stride.
+template <typename T>
+void pack_a_block(Op opa, ConstMatrixView<T> a, index_t i0, index_t p0,
+                  index_t mc, index_t kc, T* __restrict__ dst) {
+  constexpr index_t MR = GemmBlocking<T>::MR;
+  const index_t panels = ceil_div(mc, MR);
+  for (index_t ip = 0; ip < panels; ++ip) {
+    const index_t ib = i0 + ip * MR;
+    const index_t mr = std::min(MR, i0 + mc - ib);
+    T* __restrict__ d = dst + ip * kc * MR;
+    if (opa == Op::N) {
+      for (index_t l = 0; l < kc; ++l) {
+        const T* __restrict__ src = a.data + ib + (p0 + l) * a.ld;
+        for (index_t i = 0; i < mr; ++i) d[l * MR + i] = src[i];
+        for (index_t i = mr; i < MR; ++i) d[l * MR + i] = T{};
+      }
+    } else {
+      // op(A)(i, l) = (conj) a(l, i): the l run is contiguous down column
+      // ib + i of a; writes stride by MR.
+      const bool conjugate = (opa == Op::C) && is_complex_v<T>;
+      for (index_t i = 0; i < mr; ++i) {
+        const T* __restrict__ src = a.data + p0 + (ib + i) * a.ld;
+        if (conjugate) {
+          for (index_t l = 0; l < kc; ++l) d[l * MR + i] = conj_s(src[l]);
+        } else {
+          for (index_t l = 0; l < kc; ++l) d[l * MR + i] = src[l];
+        }
+      }
+      for (index_t i = mr; i < MR; ++i)
+        for (index_t l = 0; l < kc; ++l) d[l * MR + i] = T{};
+    }
+  }
+}
+
+/// Pack the cache block op(B)(p0:p0+kc, j0:j0+nc) into NR-column panels:
+/// dst[(jp*kc + l)*NR + j] = op(B)(p0 + l, j0 + jp*NR + j), zero-padded to a
+/// full NR in the last panel.
+template <typename T>
+void pack_b_block(Op opb, ConstMatrixView<T> b, index_t p0, index_t j0,
+                  index_t kc, index_t nc, T* __restrict__ dst) {
+  constexpr index_t NR = GemmBlocking<T>::NR;
+  const index_t panels = ceil_div(nc, NR);
+  for (index_t jp = 0; jp < panels; ++jp) {
+    const index_t jb = j0 + jp * NR;
+    const index_t nr = std::min(NR, j0 + nc - jb);
+    T* __restrict__ d = dst + jp * kc * NR;
+    if (opb == Op::N) {
+      for (index_t j = 0; j < nr; ++j) {
+        const T* __restrict__ src = b.data + p0 + (jb + j) * b.ld;
+        for (index_t l = 0; l < kc; ++l) d[l * NR + j] = src[l];
+      }
+      for (index_t j = nr; j < NR; ++j)
+        for (index_t l = 0; l < kc; ++l) d[l * NR + j] = T{};
+    } else {
+      // op(B)(l, j) = (conj) b(j, l): the j run is contiguous down column
+      // p0 + l of b; reads coalesce, writes are unit stride.
+      const bool conjugate = (opb == Op::C) && is_complex_v<T>;
+      for (index_t l = 0; l < kc; ++l) {
+        const T* __restrict__ src = b.data + jb + (p0 + l) * b.ld;
+        if (conjugate) {
+          for (index_t j = 0; j < nr; ++j) d[l * NR + j] = conj_s(src[j]);
+        } else {
+          for (index_t j = 0; j < nr; ++j) d[l * NR + j] = src[j];
+        }
+        for (index_t j = nr; j < NR; ++j) d[l * NR + j] = T{};
+      }
+    }
+  }
+}
+
+/// MR x NR register tile: acc += Ap_panel * Bp_panel over kc. Both panels
+/// are unit-stride; MR and NR are compile-time so the compiler fully unrolls
+/// and keeps acc in registers (12 vector accumulators for double on AVX2).
+template <typename T>
+inline void micro_kernel(index_t kc, const T* __restrict__ ap,
+                         const T* __restrict__ bp, T* __restrict__ acc) {
+  constexpr index_t MR = GemmBlocking<T>::MR;
+  constexpr index_t NR = GemmBlocking<T>::NR;
+  for (index_t l = 0; l < kc; ++l) {
+    const T* __restrict__ al = ap + l * MR;
+    const T* __restrict__ bl = bp + l * NR;
+    for (int j = 0; j < NR; ++j) {
+      const T blj = bl[j];
+#pragma omp simd
+      for (int i = 0; i < MR; ++i) acc[j * MR + i] += al[i] * blj;
+    }
+  }
+}
+
+/// One (mc x nc) block of C against packed panels Ap (mc x kc) and Bp
+/// (kc x nc). `beta` here is the effective beta for this k-slice (the
+/// caller passes the user beta for the first slice, 1 afterwards).
+template <typename T>
+void macro_kernel(index_t mc, index_t nc, index_t kc, T alpha,
+                  const T* __restrict__ ap_all, const T* __restrict__ bp_all,
+                  T beta, MatrixView<T> cblk) {
+  constexpr index_t MR = GemmBlocking<T>::MR;
+  constexpr index_t NR = GemmBlocking<T>::NR;
+  for (index_t jr = 0; jr < nc; jr += NR) {
+    const index_t nr = std::min(NR, nc - jr);
+    const T* bp = bp_all + (jr / NR) * kc * NR;
+    for (index_t ir = 0; ir < mc; ir += MR) {
+      const index_t mr = std::min(MR, mc - ir);
+      const T* ap = ap_all + (ir / MR) * kc * MR;
+      T acc[MR * NR] = {};
+      micro_kernel<T>(kc, ap, bp, acc);
+      for (index_t j = 0; j < nr; ++j) {
+        T* __restrict__ cj = cblk.data + ir + (jr + j) * cblk.ld;
+        const T* __restrict__ accj = acc + j * MR;
+        if (beta == T{}) {
+          for (index_t i = 0; i < mr; ++i) cj[i] = alpha * accj[i];
+        } else if (beta == T{1}) {
+          for (index_t i = 0; i < mr; ++i) cj[i] += alpha * accj[i];
+        } else {
+          for (index_t i = 0; i < mr; ++i)
+            cj[i] = alpha * accj[i] + beta * cj[i];
+        }
+      }
+    }
+  }
+}
+
+/// beta-only epilogue for degenerate calls (k == 0 or alpha == 0).
+template <typename T>
+void scale_c(T beta, MatrixView<T> c) {
+  for (index_t j = 0; j < c.cols; ++j) {
+    T* __restrict__ cj = c.data + j * c.ld;
+    if (beta == T{}) {
+      for (index_t i = 0; i < c.rows; ++i) cj[i] = T{};
+    } else if (beta != T{1}) {
+      for (index_t i = 0; i < c.rows; ++i) cj[i] *= beta;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void gemm_packed(Op opa, Op opb, T alpha, NoDeduce<ConstMatrixView<T>> a,
+                 NoDeduce<ConstMatrixView<T>> b, T beta, MatrixView<T> c) {
+  constexpr index_t MC = GemmBlocking<T>::MC;
+  constexpr index_t KC = GemmBlocking<T>::KC;
+  constexpr index_t NC = GemmBlocking<T>::NC;
+  const index_t m = c.rows, n = c.cols, k = op_cols(opa, a);
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == T{}) {
+    scale_c(beta, c);
+    return;
+  }
+  WorkspaceArena& ws = WorkspaceArena::local();
+  T* ap = ws.get<T>(MC * KC, WorkspaceArena::kPackA);
+  T* bp = ws.get<T>(KC * NC, WorkspaceArena::kPackB);
+  for (index_t jc = 0; jc < n; jc += NC) {
+    const index_t nc = std::min(NC, n - jc);
+    for (index_t pc = 0; pc < k; pc += KC) {
+      const index_t kc = std::min(KC, k - pc);
+      pack_b_block(opb, b, pc, jc, kc, nc, bp);
+      gemm_stats::g_b_packs.fetch_add(1, std::memory_order_relaxed);
+      const T beta_eff = (pc == 0) ? beta : T{1};
+      for (index_t ic = 0; ic < m; ic += MC) {
+        const index_t mc = std::min(MC, m - ic);
+        pack_a_block(opa, a, ic, pc, mc, kc, ap);
+        gemm_stats::g_a_packs.fetch_add(1, std::memory_order_relaxed);
+        macro_kernel(mc, nc, kc, alpha, ap, bp, beta_eff,
+                     c.block(ic, jc, mc, nc));
+      }
+    }
+  }
+}
+
+template <typename T>
+PackedMatrix<T> pack_a_full(Op opa, ConstMatrixView<T> a) {
+  constexpr index_t MR = GemmBlocking<T>::MR;
+  constexpr index_t MC = GemmBlocking<T>::MC;
+  constexpr index_t KC = GemmBlocking<T>::KC;
+  PackedMatrix<T> p;
+  p.kind_ = PackedMatrix<T>::Kind::kA;
+  p.rows_ = op_rows(opa, a);
+  p.cols_ = op_cols(opa, a);
+  p.grid_rows_ = ceil_div(p.rows_, MC);
+  p.grid_cols_ = ceil_div(p.cols_, KC);
+  if (p.empty()) return p;
+  p.offsets_.resize(static_cast<std::size_t>(p.grid_rows_ * p.grid_cols_));
+  index_t total = 0;
+  for (index_t it = 0; it < p.grid_rows_; ++it) {
+    const index_t mc = std::min(MC, p.rows_ - it * MC);
+    for (index_t pt = 0; pt < p.grid_cols_; ++pt) {
+      const index_t kc = std::min(KC, p.cols_ - pt * KC);
+      p.offsets_[it * p.grid_cols_ + pt] = total;
+      total += ceil_div(mc, MR) * MR * kc;
+    }
+  }
+  p.buf_.resize(static_cast<std::size_t>(total));
+  for (index_t it = 0; it < p.grid_rows_; ++it) {
+    const index_t mc = std::min(MC, p.rows_ - it * MC);
+    for (index_t pt = 0; pt < p.grid_cols_; ++pt) {
+      const index_t kc = std::min(KC, p.cols_ - pt * KC);
+      pack_a_block(opa, a, it * MC, pt * KC, mc, kc,
+                   p.buf_.data() + p.offsets_[it * p.grid_cols_ + pt]);
+    }
+  }
+  gemm_stats::g_shared_packs.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+template <typename T>
+PackedMatrix<T> pack_b_full(Op opb, ConstMatrixView<T> b) {
+  constexpr index_t NR = GemmBlocking<T>::NR;
+  constexpr index_t KC = GemmBlocking<T>::KC;
+  constexpr index_t NC = GemmBlocking<T>::NC;
+  PackedMatrix<T> p;
+  p.kind_ = PackedMatrix<T>::Kind::kB;
+  p.rows_ = op_rows(opb, b);
+  p.cols_ = op_cols(opb, b);
+  p.grid_rows_ = ceil_div(p.rows_, KC);
+  p.grid_cols_ = ceil_div(p.cols_, NC);
+  if (p.empty()) return p;
+  p.offsets_.resize(static_cast<std::size_t>(p.grid_rows_ * p.grid_cols_));
+  index_t total = 0;
+  for (index_t pt = 0; pt < p.grid_rows_; ++pt) {
+    const index_t kc = std::min(KC, p.rows_ - pt * KC);
+    for (index_t jt = 0; jt < p.grid_cols_; ++jt) {
+      const index_t nc = std::min(NC, p.cols_ - jt * NC);
+      p.offsets_[pt * p.grid_cols_ + jt] = total;
+      total += ceil_div(nc, NR) * NR * kc;
+    }
+  }
+  p.buf_.resize(static_cast<std::size_t>(total));
+  for (index_t pt = 0; pt < p.grid_rows_; ++pt) {
+    const index_t kc = std::min(KC, p.rows_ - pt * KC);
+    for (index_t jt = 0; jt < p.grid_cols_; ++jt) {
+      const index_t nc = std::min(NC, p.cols_ - jt * NC);
+      pack_b_block(opb, b, pt * KC, jt * NC, kc, nc,
+                   p.buf_.data() + p.offsets_[pt * p.grid_cols_ + jt]);
+    }
+  }
+  gemm_stats::g_shared_packs.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+template <typename T>
+void gemm_prepacked_a(const PackedMatrix<T>& ap, T alpha, Op opb,
+                      NoDeduce<ConstMatrixView<T>> b, T beta,
+                      MatrixView<T> c) {
+  constexpr index_t MC = GemmBlocking<T>::MC;
+  constexpr index_t KC = GemmBlocking<T>::KC;
+  constexpr index_t NC = GemmBlocking<T>::NC;
+  HODLRX_REQUIRE(ap.kind() == PackedMatrix<T>::Kind::kA,
+                 "gemm_prepacked_a: operand was packed as B");
+  const index_t m = c.rows, n = c.cols, k = ap.cols();
+  HODLRX_REQUIRE(ap.rows() == m && op_rows(opb, b) == k &&
+                     op_cols(opb, b) == n,
+                 "gemm_prepacked_a: shape mismatch");
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == T{}) {
+    scale_c(beta, c);
+    return;
+  }
+  WorkspaceArena& ws = WorkspaceArena::local();
+  T* bp = ws.get<T>(KC * NC, WorkspaceArena::kPackB);
+  for (index_t jc = 0; jc < n; jc += NC) {
+    const index_t nc = std::min(NC, n - jc);
+    for (index_t pc = 0; pc < k; pc += KC) {
+      const index_t kc = std::min(KC, k - pc);
+      pack_b_block(opb, b, pc, jc, kc, nc, bp);
+      gemm_stats::g_b_packs.fetch_add(1, std::memory_order_relaxed);
+      const T beta_eff = (pc == 0) ? beta : T{1};
+      for (index_t ic = 0; ic < m; ic += MC) {
+        const index_t mc = std::min(MC, m - ic);
+        macro_kernel(mc, nc, kc, alpha, ap.tile(ic / MC, pc / KC), bp,
+                     beta_eff, c.block(ic, jc, mc, nc));
+      }
+    }
+  }
+}
+
+template <typename T>
+void gemm_prepacked_b(Op opa, T alpha, NoDeduce<ConstMatrixView<T>> a,
+                      const PackedMatrix<T>& bp, T beta, MatrixView<T> c) {
+  constexpr index_t MC = GemmBlocking<T>::MC;
+  constexpr index_t KC = GemmBlocking<T>::KC;
+  constexpr index_t NC = GemmBlocking<T>::NC;
+  HODLRX_REQUIRE(bp.kind() == PackedMatrix<T>::Kind::kB,
+                 "gemm_prepacked_b: operand was packed as A");
+  const index_t m = c.rows, n = c.cols, k = bp.rows();
+  HODLRX_REQUIRE(bp.cols() == n && op_rows(opa, a) == m &&
+                     op_cols(opa, a) == k,
+                 "gemm_prepacked_b: shape mismatch");
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == T{}) {
+    scale_c(beta, c);
+    return;
+  }
+  WorkspaceArena& ws = WorkspaceArena::local();
+  T* ap = ws.get<T>(MC * KC, WorkspaceArena::kPackA);
+  for (index_t jc = 0; jc < n; jc += NC) {
+    const index_t nc = std::min(NC, n - jc);
+    for (index_t pc = 0; pc < k; pc += KC) {
+      const index_t kc = std::min(KC, k - pc);
+      const T beta_eff = (pc == 0) ? beta : T{1};
+      for (index_t ic = 0; ic < m; ic += MC) {
+        const index_t mc = std::min(MC, m - ic);
+        pack_a_block(opa, a, ic, pc, mc, kc, ap);
+        gemm_stats::g_a_packs.fetch_add(1, std::memory_order_relaxed);
+        macro_kernel(mc, nc, kc, alpha, ap, bp.tile(pc / KC, jc / NC),
+                     beta_eff, c.block(ic, jc, mc, nc));
+      }
+    }
+  }
+}
+
+#define HODLRX_INSTANTIATE_GEMM_KERNEL(T)                                     \
+  template class PackedMatrix<T>;                                            \
+  template void gemm_packed<T>(Op, Op, T, NoDeduce<ConstMatrixView<T>>,       \
+                               NoDeduce<ConstMatrixView<T>>, T,               \
+                               MatrixView<T>);                                \
+  template PackedMatrix<T> pack_a_full<T>(Op, ConstMatrixView<T>);            \
+  template PackedMatrix<T> pack_b_full<T>(Op, ConstMatrixView<T>);            \
+  template void gemm_prepacked_a<T>(const PackedMatrix<T>&, T, Op,            \
+                                    NoDeduce<ConstMatrixView<T>>, T,          \
+                                    MatrixView<T>);                           \
+  template void gemm_prepacked_b<T>(Op, T, NoDeduce<ConstMatrixView<T>>,      \
+                                    const PackedMatrix<T>&, T, MatrixView<T>);
+
+HODLRX_INSTANTIATE_GEMM_KERNEL(float)
+HODLRX_INSTANTIATE_GEMM_KERNEL(double)
+HODLRX_INSTANTIATE_GEMM_KERNEL(std::complex<float>)
+HODLRX_INSTANTIATE_GEMM_KERNEL(std::complex<double>)
+
+#undef HODLRX_INSTANTIATE_GEMM_KERNEL
+
+}  // namespace hodlrx

@@ -22,10 +22,20 @@ enum class Diag : char { Unit = 'U', NonUnit = 'N' };
 template <typename T>
 void getrf(MatrixView<T> a, index_t* ipiv);
 
+/// getrf with intra-problem parallelism: the right-looking blocked driver
+/// runs its trailing GEMM update through gemm_parallel. This is the batched
+/// engine's "stream mode" LU for few, large problems (Sec. III-C).
+template <typename T>
+void getrf_parallel(MatrixView<T> a, index_t* ipiv);
+
 /// In-place LU without pivoting; throws on a zero pivot. Used by the
 /// identity-diagonal K-matrix variant (paper Sec. III-C, last paragraph).
 template <typename T>
 void getrf_nopivot(MatrixView<T> a);
+
+/// getrf_nopivot with a gemm_parallel trailing update (stream-mode LU).
+template <typename T>
+void getrf_nopivot_parallel(MatrixView<T> a);
 
 /// Apply the row interchanges recorded in `ipiv[0..npiv)` to B
 /// (forward=true: same order as factorization; false: inverse order).

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/config.hpp"
+
+/// \file workspace.hpp
+/// Per-thread scratch memory for the packed GEMM engine.
+///
+/// Packing buffers are needed on every macro-kernel iteration; allocating
+/// them per call would put an allocator round-trip on the hot path and (under
+/// OpenMP) contend on the heap lock. `WorkspaceArena::local()` hands each
+/// thread a small set of reusable 64-byte-aligned buffers that only ever
+/// grow, so steady-state packing performs zero allocations.
+
+namespace hodlrx {
+
+class WorkspaceArena {
+ public:
+  /// Buffer roles. Each slot is an independent buffer so a kernel can hold
+  /// an A-pack and a B-pack simultaneously.
+  enum Slot : std::size_t { kPackA = 0, kPackB = 1, kScratch = 2, kNumSlots };
+
+  /// The calling thread's arena (created on first use, lives for the
+  /// thread's lifetime).
+  static WorkspaceArena& local() {
+    static thread_local WorkspaceArena arena;
+    return arena;
+  }
+
+  /// A buffer of at least `count` elements of T, aligned to kAlignment.
+  /// Contents are unspecified; the buffer stays valid until the next get()
+  /// on the same slot with a larger size.
+  template <typename T>
+  T* get(std::size_t count, Slot slot) {
+    auto& buf = slots_[slot];
+    const std::size_t bytes = count * sizeof(T);
+    if (buf.size() < bytes) {
+      buf.clear();  // don't copy old contents on growth
+      buf.resize(bytes);
+      ++grow_events_;
+    }
+    return reinterpret_cast<T*>(buf.data());
+  }
+
+  /// Total bytes currently held by this thread's arena.
+  std::size_t bytes() const {
+    std::size_t total = 0;
+    for (const auto& b : slots_) total += b.size();
+    return total;
+  }
+
+  /// Number of times any slot had to (re)allocate; a steady-state kernel
+  /// loop should leave this constant.
+  std::size_t grow_events() const { return grow_events_; }
+
+ private:
+  WorkspaceArena() = default;
+  std::vector<std::byte, AlignedAllocator<std::byte>> slots_[kNumSlots];
+  std::size_t grow_events_ = 0;
+};
+
+}  // namespace hodlrx

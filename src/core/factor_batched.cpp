@@ -53,6 +53,17 @@ void FactorEngine<T>::run_factor_batched(F& f) {
     }
   }
 
+  // One W workspace reused by every level (sized for the largest), instead
+  // of a fresh heap allocation per level: the batched engine's level sweep
+  // is the hot path, and the per-level W can reach hundreds of MB.
+  index_t wmax = 0;
+  for (index_t l = L - 1; l >= 0; --l) {
+    if (f.level_rank_[l + 1] == 0) continue;
+    wmax = std::max(wmax, 2 * f.kfac_[l].count * f.level_rank_[l + 1] *
+                              f.col_offset_[l + 1]);
+  }
+  Matrix<T> wbuf(wmax, 1);
+
   // --- Algorithm 3, lines 4-11: level sweep -------------------------------
   for (index_t l = L - 1; l >= 0; --l) {
     const index_t r = f.level_rank_[l + 1];
@@ -123,9 +134,8 @@ void FactorEngine<T>::run_factor_batched(F& f) {
     if (panel == 0) continue;
 
     // Line 6: W = (V^{l+1})^H (.) Ybig(:, prefix), block rows per child.
-    Matrix<T> w(c * r, panel);
-    T* wdata = w.data();
-    const index_t ldw = w.rows();
+    T* wdata = wbuf.data();
+    const index_t ldw = c * r;
     if (uniform && pivoted) {
       gemm_strided_batched<T>(Op::C, Op::N, r, panel, s, T{1},
                               vdata + panel * ldv, ldv, s, ydata, ldy, s,
@@ -225,6 +235,14 @@ void FactorEngine<T>::run_solve_batched(const F& f, MatrixView<T> x) {
     getrs_batched<T>(lu, piv, rhs, policy);
   }
 
+  // As in the factorization stage: one W workspace for all levels.
+  index_t wmax = 0;
+  for (index_t l = L - 1; l >= 0; --l) {
+    if (f.level_rank_[l + 1] == 0) continue;
+    wmax = std::max(wmax, 2 * f.kfac_[l].count * f.level_rank_[l + 1] * nrhs);
+  }
+  Matrix<T> wbuf(wmax, 1);
+
   // --- Algorithm 4, lines 3-7: level sweep --------------------------------
   for (index_t l = L - 1; l >= 0; --l) {
     const index_t r = f.level_rank_[l + 1];
@@ -238,9 +256,8 @@ void FactorEngine<T>::run_solve_batched(const F& f, MatrixView<T> x) {
     const index_t s =
         uniform ? tree.node(ClusterTree::level_begin(l + 1)).size() : 0;
 
-    Matrix<T> w(c * r, nrhs);
-    T* wdata = w.data();
-    const index_t ldw = w.rows();
+    T* wdata = wbuf.data();
+    const index_t ldw = c * r;
 
     // Line 4: w = (V^{l+1})^H (.) x^{l+1}.
     if (uniform && pivoted) {
