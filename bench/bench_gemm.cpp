@@ -68,16 +68,7 @@ void seed_gemm_generic(Op opa, Op opb, T alpha, ConstMatrixView<T> a,
     }
 }
 
-template <typename F>
-double time_best(int repeats, F&& f) {
-  double best = 1e300;
-  for (int r = 0; r < repeats; ++r) {
-    WallTimer t;
-    f();
-    best = std::min(best, t.seconds());
-  }
-  return best;
-}
+using bench::time_best;
 
 double gflops(index_t m, index_t n, index_t k, double seconds,
               bool complex_scalar = false) {

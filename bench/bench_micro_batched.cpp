@@ -1,12 +1,19 @@
-/// Microbenchmarks (google-benchmark) of the batched device engine — the
-/// substrate claims of Sec. III-C: batching many small operations into one
-/// call, the strided fast path, and the stream-mode crossover for small
-/// batches of large problems.
+/// Microbenchmarks of the batched device engine — the substrate claims of
+/// Sec. III-C: batching many small operations into one call, the strided
+/// fast path, the stream-mode crossover for small batches of large problems,
+/// and the batched factor/solve kernels on the persistent thread pool.
+///
+/// Self-contained driver (no google-benchmark dependency) that emits
+/// BENCH_micro_batched.json like the other benches, so batched throughput is
+/// tracked across PRs.
+///
+/// Flags: --repeats N (default 3), --max-n N (cap problem sizes).
 
-#include <benchmark/benchmark.h>
+#include "bench_util.hpp"
 
 #include "batched/batched_blas.hpp"
-#include "common/random.hpp"
+#include "common/parallel.hpp"
+#include "common/trsm_kernel.hpp"
 
 using namespace hodlrx;
 
@@ -29,82 +36,145 @@ struct GemmBatchFixture {
   }
 };
 
-void BM_GemmLoopOfSmall(benchmark::State& state) {
-  const index_t batch = state.range(0), s = state.range(1);
-  GemmBatchFixture f(batch, s, s, s);
-  for (auto _ : state) {
-    for (index_t i = 0; i < batch; ++i)
-      gemm<double>(Op::N, Op::N, 1.0, f.av[i], f.bv[i], 0.0, f.cv[i]);
-    benchmark::DoNotOptimize(f.c[0].data());
-  }
-  state.SetItemsProcessed(state.iterations() * batch);
+using bench::time_best;
+using bench::time_best_with_setup;
+
+void emit(bench::JsonArrayWriter& out, const char* name, index_t batch,
+          index_t s, double seconds, double work_flops) {
+  const double gf = work_flops / seconds / 1e9;
+  const double items = static_cast<double>(batch) / seconds;
+  std::printf("%-28s batch=%5lld s=%4lld  %10.2f GF/s  %12.0f problems/s\n",
+              name, static_cast<long long>(batch), static_cast<long long>(s),
+              gf, items);
+  out.begin_record();
+  out.field("case", name);
+  out.field("batch", batch);
+  out.field("s", s);
+  out.field("gflops", gf);
+  out.field("problems_per_sec", items);
+  out.end_record();
 }
 
-void BM_GemmBatched(benchmark::State& state) {
-  const index_t batch = state.range(0), s = state.range(1);
+void bench_gemm_small(index_t batch, index_t s, int repeats,
+                      bench::JsonArrayWriter& out) {
   GemmBatchFixture f(batch, s, s, s);
-  for (auto _ : state) {
-    gemm_batched<double>(Op::N, Op::N, 1.0, f.av, f.bv, 0.0, f.cv);
-    benchmark::DoNotOptimize(f.c[0].data());
-  }
-  state.SetItemsProcessed(state.iterations() * batch);
-}
-
-void BM_GemmBatchedStream(benchmark::State& state) {
-  const index_t batch = state.range(0), s = state.range(1);
-  GemmBatchFixture f(batch, s, s, s);
-  for (auto _ : state) {
-    gemm_batched<double>(Op::N, Op::N, 1.0, f.av, f.bv, 0.0, f.cv,
-                         BatchPolicy::kForceStream);
-    benchmark::DoNotOptimize(f.c[0].data());
-  }
-  state.SetItemsProcessed(state.iterations() * batch);
-}
-
-void BM_GemmStridedBatched(benchmark::State& state) {
-  const index_t batch = state.range(0), s = state.range(1);
+  const double work = 2.0 * batch * s * s * s;
+  emit(out, "gemm_loop_of_small", batch, s, time_best(repeats, [&] {
+         for (index_t i = 0; i < batch; ++i)
+           gemm<double>(Op::N, Op::N, 1.0, f.av[i], f.bv[i], 0.0, f.cv[i]);
+       }),
+       work);
+  emit(out, "gemm_batched", batch, s, time_best(repeats, [&] {
+         gemm_batched<double>(Op::N, Op::N, 1.0, f.av, f.bv, 0.0, f.cv);
+       }),
+       work);
   Matrix<double> a = random_matrix<double>(s, s * batch, 1);
   Matrix<double> b = random_matrix<double>(s, s * batch, 2);
   Matrix<double> c(s, s * batch);
-  for (auto _ : state) {
-    gemm_strided_batched<double>(Op::N, Op::N, s, s, s, 1.0, a.data(), s,
-                                 s * s, b.data(), s, s * s, 0.0, c.data(), s,
-                                 s * s, batch);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * batch);
+  emit(out, "gemm_strided_batched", batch, s, time_best(repeats, [&] {
+         gemm_strided_batched<double>(Op::N, Op::N, s, s, s, 1.0, a.data(), s,
+                                      s * s, b.data(), s, s * s, 0.0,
+                                      c.data(), s, s * s, batch);
+       }),
+       work);
 }
 
-void BM_GetrfBatched(benchmark::State& state) {
-  const index_t batch = state.range(0), s = state.range(1);
+void bench_gemm_stream(index_t batch, index_t s, int repeats,
+                       bench::JsonArrayWriter& out) {
+  GemmBatchFixture f(batch, s, s, s);
+  const double work = 2.0 * batch * s * s * s;
+  emit(out, "gemm_batched_large", batch, s, time_best(repeats, [&] {
+         gemm_batched<double>(Op::N, Op::N, 1.0, f.av, f.bv, 0.0, f.cv,
+                              BatchPolicy::kForceBatched);
+       }),
+       work);
+  emit(out, "gemm_stream_large", batch, s, time_best(repeats, [&] {
+         gemm_batched<double>(Op::N, Op::N, 1.0, f.av, f.bv, 0.0, f.cv,
+                              BatchPolicy::kForceStream);
+       }),
+       work);
+}
+
+void bench_getrf(index_t batch, index_t s, int repeats,
+                 bench::JsonArrayWriter& out) {
   std::vector<Matrix<double>> a0;
   for (index_t i = 0; i < batch; ++i) {
     a0.push_back(random_matrix<double>(s, s, 300 + i));
     for (index_t d = 0; d < s; ++d) a0.back()(d, d) += 4.0;
   }
   std::vector<std::vector<index_t>> piv(batch, std::vector<index_t>(s));
-  for (auto _ : state) {
-    state.PauseTiming();
-    std::vector<Matrix<double>> a = a0;
-    std::vector<MatrixView<double>> av(a.begin(), a.end());
-    std::vector<index_t*> pv;
-    for (auto& pp : piv) pv.push_back(pp.data());
-    state.ResumeTiming();
-    getrf_batched<double>(av, pv);
-    benchmark::DoNotOptimize(a[0].data());
+  std::vector<Matrix<double>> a(batch);
+  std::vector<MatrixView<double>> av(batch);
+  std::vector<index_t*> pv(batch);
+  const double work = 2.0 / 3.0 * batch * s * s * s;
+  // The matrix restore runs outside the timed section (getrf consumes its
+  // input in place), matching the old PauseTiming/ResumeTiming protocol.
+  emit(out, "getrf_batched", batch, s,
+       time_best_with_setup(
+           repeats,
+           [&] {
+             for (index_t i = 0; i < batch; ++i) {
+               a[i] = to_matrix(a0[i].view());
+               av[i] = a[i];
+               pv[i] = piv[i].data();
+             }
+           },
+           [&] { getrf_batched<double>(av, pv); }),
+       work);
+}
+
+void bench_solves(index_t batch, index_t s, index_t nrhs, int repeats,
+                  bench::JsonArrayWriter& out) {
+  std::vector<Matrix<double>> lu;
+  std::vector<std::vector<index_t>> piv(batch, std::vector<index_t>(s));
+  for (index_t i = 0; i < batch; ++i) {
+    lu.push_back(random_matrix<double>(s, s, 500 + i));
+    for (index_t d = 0; d < s; ++d) lu.back()(d, d) += 4.0;
+    getrf<double>(lu.back().view(), piv[i].data());
   }
-  state.SetItemsProcessed(state.iterations() * batch);
+  std::vector<Matrix<double>> b0;
+  for (index_t i = 0; i < batch; ++i)
+    b0.push_back(random_matrix<double>(s, nrhs, 600 + i));
+  std::vector<Matrix<double>> b = b0;
+  std::vector<ConstMatrixView<double>> luv(lu.begin(), lu.end());
+  std::vector<const index_t*> pv;
+  for (auto& p : piv) pv.push_back(p.data());
+  std::vector<MatrixView<double>> bv(b.begin(), b.end());
+  auto restore = [&] {
+    for (index_t i = 0; i < batch; ++i) copy<double>(b0[i].view(), bv[i]);
+  };
+  emit(out, "getrs_batched", batch, s,
+       time_best_with_setup(repeats, restore,
+                            [&] { getrs_batched<double>(luv, pv, bv); }),
+       2.0 * batch * s * s * nrhs);
+  emit(out, "trsm_batched", batch, s,
+       time_best_with_setup(
+           repeats, restore,
+           [&] { trsm_batched<double>(Uplo::Lower, Diag::Unit, luv, bv); }),
+       static_cast<double>(batch) * s * s * nrhs);
 }
 
 }  // namespace
 
-// Many small problems: batching wins by avoiding per-call overhead.
-BENCHMARK(BM_GemmLoopOfSmall)->Args({256, 24})->Args({1024, 24});
-BENCHMARK(BM_GemmBatched)->Args({256, 24})->Args({1024, 24});
-BENCHMARK(BM_GemmStridedBatched)->Args({256, 24})->Args({1024, 24});
-// Few large problems: stream mode (intra-op threads) wins.
-BENCHMARK(BM_GemmBatched)->Args({2, 512});
-BENCHMARK(BM_GemmBatchedStream)->Args({2, 512});
-BENCHMARK(BM_GetrfBatched)->Args({256, 64});
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  index_t small = 24, big = 512, lu_s = 64;
+  if (args.max_n > 0) {
+    big = std::min(big, args.max_n);
+    lu_s = std::min(lu_s, args.max_n);
+    small = std::min(small, args.max_n);
+  }
+  std::printf("== bench_micro_batched: batched engine on the persistent "
+              "pool (%d threads) ==\n", max_threads());
+  bench::JsonArrayWriter out("BENCH_micro_batched.json");
+  // Many small problems: batching wins by avoiding per-call overhead.
+  bench_gemm_small(256, small, args.repeats, out);
+  bench_gemm_small(1024, small, args.repeats, out);
+  // Few large problems: stream mode (intra-op threads) wins.
+  bench_gemm_stream(2, big, args.repeats, out);
+  bench_getrf(256, lu_s, args.repeats, out);
+  bench_solves(256, lu_s, lu_s, args.repeats, out);
+  out.close();
+  std::printf("wrote BENCH_micro_batched.json\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+/// Microbenchmark of the blocked TRSM/GETRS engine against the seed's
+/// unblocked reference kernels (kept in trsm_kernel.cpp as
+/// `trsm_left_reference`), per scalar type, plus the batched dispatcher in
+/// both execution modes. Emits BENCH_trsm.json so the solve-stage perf
+/// trajectory is tracked across PRs alongside BENCH_gemm.json.
+///
+/// Flags: --repeats N (default 3), --max-n N (cap the large dimension).
+
+#include "bench_util.hpp"
+
+#include "batched/batched_blas.hpp"
+#include "common/trsm_kernel.hpp"
+
+using namespace hodlrx;
+
+namespace {
+
+using bench::time_best;
+
+double gflops(index_t n, index_t nrhs, double seconds,
+              bool complex_scalar = false) {
+  // n^2 * nrhs multiply-adds per triangular solve (FlopCounter convention).
+  const double mul = complex_scalar ? 4.0 : 1.0;
+  return mul * static_cast<double>(n) * n * nrhs / seconds / 1e9;
+}
+
+/// Well-conditioned triangular test matrix (random_triangular_matrix, shared
+/// with the tests so bench and suite exercise the same problem class).
+template <typename T>
+Matrix<T> triangular_matrix(index_t n, Uplo uplo, std::uint64_t seed) {
+  return random_triangular_matrix<T>(n, uplo == Uplo::Lower, seed);
+}
+
+template <typename T>
+void run_trsm_case(const char* name, Uplo uplo, index_t n, index_t nrhs,
+                   int repeats, bench::JsonArrayWriter& out) {
+  Matrix<T> a = triangular_matrix<T>(n, uplo, 11);
+  Matrix<T> b0 = random_matrix<T>(n, nrhs, 12);
+  Matrix<T> b(n, nrhs);
+  auto restore = [&] { copy<T>(b0.view(), b.view()); };
+  const double t_seed = bench::time_best_with_setup(repeats, restore, [&] {
+    trsm_left_reference<T>(uplo, Diag::NonUnit, a, b.view());
+  });
+  const double t_blocked = bench::time_best_with_setup(repeats, restore, [&] {
+    trsm_left_blocked<T>(uplo, Diag::NonUnit, a, b.view());
+  });
+  const double g_seed = gflops(n, nrhs, t_seed, is_complex_v<T>);
+  const double g_blocked = gflops(n, nrhs, t_blocked, is_complex_v<T>);
+  std::printf("%-22s %s %c %5lldx%5lld  seed %8.2f GF/s  blocked %8.2f GF/s"
+              "  speedup %5.2fx\n",
+              name, scalar_name<T>(), uplo == Uplo::Lower ? 'L' : 'U',
+              static_cast<long long>(n), static_cast<long long>(nrhs), g_seed,
+              g_blocked, t_seed / t_blocked);
+  out.begin_record();
+  out.field("case", name);
+  out.field("type", scalar_name<T>());
+  out.field("uplo", uplo == Uplo::Lower ? "L" : "U");
+  out.field("n", n);
+  out.field("nrhs", nrhs);
+  out.field("seed_gflops", g_seed);
+  out.field("blocked_gflops", g_blocked);
+  out.field("speedup", t_seed / t_blocked);
+  out.end_record();
+}
+
+template <typename T>
+void run_getrs_case(index_t n, index_t nrhs, int repeats,
+                    bench::JsonArrayWriter& out) {
+  Matrix<T> a = random_matrix<T>(n, n, 21);
+  for (index_t i = 0; i < n; ++i) a(i, i) += T{4};
+  std::vector<index_t> ipiv(n);
+  getrf<T>(a.view(), ipiv.data());
+  Matrix<T> b0 = random_matrix<T>(n, nrhs, 22);
+  Matrix<T> b(n, nrhs);
+  auto restore = [&] { copy<T>(b0.view(), b.view()); };
+  const double t_seed = bench::time_best_with_setup(repeats, restore, [&] {
+    laswp<T>(b.view(), ipiv.data(), n, true);
+    trsm_left_reference<T>(Uplo::Lower, Diag::Unit, a, b.view());
+    trsm_left_reference<T>(Uplo::Upper, Diag::NonUnit, a, b.view());
+  });
+  const double t_blocked = bench::time_best_with_setup(
+      repeats, restore, [&] { getrs<T>(a, ipiv.data(), b.view()); });
+  const double g_seed = gflops(n, 2 * nrhs, t_seed, is_complex_v<T>);
+  const double g_blocked = gflops(n, 2 * nrhs, t_blocked, is_complex_v<T>);
+  std::printf("%-22s %s   %5lldx%5lld  seed %8.2f GF/s  blocked %8.2f GF/s"
+              "  speedup %5.2fx\n",
+              "getrs", scalar_name<T>(), static_cast<long long>(n),
+              static_cast<long long>(nrhs), g_seed, g_blocked,
+              t_seed / t_blocked);
+  out.begin_record();
+  out.field("case", "getrs");
+  out.field("type", scalar_name<T>());
+  out.field("n", n);
+  out.field("nrhs", nrhs);
+  out.field("seed_gflops", g_seed);
+  out.field("blocked_gflops", g_blocked);
+  out.field("speedup", t_seed / t_blocked);
+  out.end_record();
+}
+
+void run_batched_case(index_t batch, index_t n, index_t nrhs, int repeats,
+                      bench::JsonArrayWriter& out) {
+  std::vector<Matrix<double>> a;
+  std::vector<Matrix<double>> b0;
+  for (index_t i = 0; i < batch; ++i) {
+    a.push_back(triangular_matrix<double>(n, Uplo::Lower, 100 + i));
+    b0.push_back(random_matrix<double>(n, nrhs, 200 + i));
+  }
+  std::vector<Matrix<double>> b = b0;
+  std::vector<ConstMatrixView<double>> av(a.begin(), a.end());
+  std::vector<MatrixView<double>> bv(b.begin(), b.end());
+  auto restore = [&] {
+    for (index_t i = 0; i < batch; ++i) copy<double>(b0[i].view(), bv[i]);
+  };
+  const double t_seed = bench::time_best_with_setup(repeats, restore, [&] {
+    for (index_t i = 0; i < batch; ++i)
+      trsm_left_reference<double>(Uplo::Lower, Diag::NonUnit, av[i], bv[i]);
+  });
+  const double t_batched = bench::time_best_with_setup(repeats, restore, [&] {
+    trsm_batched<double>(Uplo::Lower, Diag::NonUnit, av, bv,
+                         BatchPolicy::kForceBatched);
+  });
+  const double work = static_cast<double>(batch) * n * n * nrhs;
+  std::printf("trsm_batched          d   batch=%lld n=%lld  loop-of-seed "
+              "%8.2f GF/s  batched %8.2f GF/s\n",
+              static_cast<long long>(batch), static_cast<long long>(n),
+              work / t_seed / 1e9, work / t_batched / 1e9);
+  out.begin_record();
+  out.field("case", "trsm_batched");
+  out.field("type", "d");
+  out.field("batch", batch);
+  out.field("n", n);
+  out.field("nrhs", nrhs);
+  out.field("seed_gflops", work / t_seed / 1e9);
+  out.field("blocked_gflops", work / t_batched / 1e9);
+  out.field("speedup", t_seed / t_batched);
+  out.end_record();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  index_t big = 1024, mid = 512;
+  if (args.max_n > 0) {
+    big = std::min(big, args.max_n);
+    mid = std::min(mid, args.max_n);
+  }
+  std::printf("== bench_trsm: blocked solve engine vs seed kernels "
+              "(single thread for like-for-like) ==\n");
+  bench::JsonArrayWriter out("BENCH_trsm.json");
+
+  run_trsm_case<double>("trsm", Uplo::Lower, big, big, args.repeats, out);
+  run_trsm_case<double>("trsm", Uplo::Upper, big, big, args.repeats, out);
+  run_trsm_case<float>("trsm", Uplo::Lower, big, big, args.repeats, out);
+  run_trsm_case<std::complex<float>>("trsm", Uplo::Lower, mid, mid,
+                                     args.repeats, out);
+  run_trsm_case<std::complex<double>>("trsm", Uplo::Lower, mid, mid,
+                                      args.repeats, out);
+  run_getrs_case<double>(big, big, args.repeats, out);
+  run_batched_case(/*batch=*/256, /*n=*/64, /*nrhs=*/64, args.repeats, out);
+  out.close();
+  std::printf("wrote BENCH_trsm.json\n");
+  return 0;
+}

@@ -51,6 +51,33 @@ struct SolverStats {
 
 inline double gb(std::size_t bytes) { return static_cast<double>(bytes) / 1e9; }
 
+/// Best-of-N wall time of `f()` — the shared timing methodology of every
+/// micro-bench, so the BENCH_*.json series all measure the same thing.
+template <typename F>
+double time_best(int repeats, F&& f) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer t;
+    f();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+/// As time_best, but runs `setup()` outside the timed section before each
+/// repeat (for in-place kernels that consume their input, e.g. getrf).
+template <typename Setup, typename F>
+double time_best_with_setup(int repeats, Setup&& setup, F&& f) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    setup();
+    WallTimer t;
+    f();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
 /// relres of x against the HODLR operator.
 template <typename T>
 double hodlr_relres(const HodlrMatrix<T>& h, ConstMatrixView<T> x,

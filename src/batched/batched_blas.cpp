@@ -6,6 +6,7 @@
 #include "common/flops.hpp"
 #include "common/gemm_kernel.hpp"
 #include "common/parallel.hpp"
+#include "common/trsm_kernel.hpp"
 #include "device/device.hpp"
 
 namespace hodlrx {
@@ -34,19 +35,6 @@ bool use_stream_mode(BatchPolicy policy, index_t batch, index_t total_work) {
     }
   }
   return false;
-}
-
-/// Parallel triangular solve for one problem: split the RHS columns into one
-/// chunk per thread (columns are independent given the LU factors).
-template <typename T, typename Solve1>
-void solve_columns_parallel(MatrixView<T> b, Solve1&& solve_chunk) {
-  const index_t nchunks =
-      std::min<index_t>(max_threads(), std::max<index_t>(b.cols, 1));
-  parallel_for_static(nchunks, [&](index_t t) {
-    const index_t j0 = t * b.cols / nchunks;
-    const index_t j1 = (t + 1) * b.cols / nchunks;
-    if (j1 > j0) solve_chunk(b.cols_range(j0, j1 - j0));
-  });
 }
 
 }  // namespace
@@ -171,6 +159,28 @@ void getrf_nopivot_batched(std::span<const MatrixView<T>> a,
 }
 
 template <typename T>
+void trsm_batched(Uplo uplo, Diag diag, std::span<const ConstMatrixView<T>> a,
+                  std::span<const MatrixView<T>> b, BatchPolicy policy) {
+  HODLRX_REQUIRE(a.size() == b.size(), "trsm_batched: batch mismatch");
+  const index_t batch = static_cast<index_t>(b.size());
+  if (batch == 0) return;
+  DeviceContext::global().record_launch();
+  index_t total_work = 0;
+  for (index_t i = 0; i < batch; ++i)
+    total_work += a[i].rows * a[i].rows * b[i].cols;
+  if (use_stream_mode(policy, batch, total_work)) {
+    // Few large problems: sequential problems, RHS columns of each split
+    // across the pool (trsm_left_parallel accounts the flops).
+    for (index_t i = 0; i < batch; ++i)
+      trsm_left_parallel<T>(uplo, diag, a[i], b[i]);
+  } else {
+    parallel_for_static(batch, [&](index_t i) {
+      trsm_left(uplo, diag, a[i], b[i]);
+    });
+  }
+}
+
+template <typename T>
 void getrs_batched(std::span<const ConstMatrixView<T>> lu,
                    std::span<const index_t* const> ipiv,
                    std::span<const MatrixView<T>> b, BatchPolicy policy) {
@@ -183,11 +193,9 @@ void getrs_batched(std::span<const ConstMatrixView<T>> lu,
   for (index_t i = 0; i < batch; ++i)
     total_work += lu[i].rows * lu[i].rows * b[i].cols;
   if (use_stream_mode(policy, batch, total_work)) {
-    for (index_t i = 0; i < batch; ++i) {
-      solve_columns_parallel<T>(b[i], [&](MatrixView<T> chunk) {
-        getrs(lu[i], ipiv[i], chunk);
-      });
-    }
+    // Pivots applied once per problem, then blocked L/U solves with the RHS
+    // columns split across the pool.
+    for (index_t i = 0; i < batch; ++i) getrs_parallel(lu[i], ipiv[i], b[i]);
   } else {
     parallel_for_static(batch,
                         [&](index_t i) { getrs(lu[i], ipiv[i], b[i]); });
@@ -206,11 +214,7 @@ void getrs_nopivot_batched(std::span<const ConstMatrixView<T>> lu,
   for (index_t i = 0; i < batch; ++i)
     total_work += lu[i].rows * lu[i].rows * b[i].cols;
   if (use_stream_mode(policy, batch, total_work)) {
-    for (index_t i = 0; i < batch; ++i) {
-      solve_columns_parallel<T>(b[i], [&](MatrixView<T> chunk) {
-        getrs_nopivot(lu[i], chunk);
-      });
-    }
+    for (index_t i = 0; i < batch; ++i) getrs_nopivot_parallel(lu[i], b[i]);
   } else {
     parallel_for_static(batch,
                         [&](index_t i) { getrs_nopivot(lu[i], b[i]); });
@@ -230,6 +234,9 @@ void getrs_nopivot_batched(std::span<const ConstMatrixView<T>> lu,
                                  std::span<index_t* const>, BatchPolicy);    \
   template void getrf_nopivot_batched<T>(std::span<const MatrixView<T>>,     \
                                          BatchPolicy);                       \
+  template void trsm_batched<T>(Uplo, Diag,                                  \
+                                std::span<const ConstMatrixView<T>>,         \
+                                std::span<const MatrixView<T>>, BatchPolicy);\
   template void getrs_batched<T>(std::span<const ConstMatrixView<T>>,        \
                                  std::span<const index_t* const>,            \
                                  std::span<const MatrixView<T>>,             \

@@ -44,10 +44,11 @@ void gemm_batched(Op opa, Op opb, T alpha,
 /// This is the fast path enabled by the paper's constant-rank padding.
 /// A zero stride marks an operand shared by the whole batch (as in cuBLAS);
 /// under BatchPolicy::kAuto the shared operand is packed ONCE per launch and
-/// reused by every problem (see gemm_kernel.hpp). The factorization sweep
-/// itself has no shared-operand shape today — the intended production caller
-/// is batched randomized compression against a common Gaussian test matrix
-/// (ROADMAP open item).
+/// reused by every problem (see gemm_kernel.hpp). The production caller is
+/// the batched randomized-compression sweep (`rsvd_strided_batched` in
+/// lowrank/rsvd.cpp, driven by HodlrMatrix::build_from_dense with
+/// Compressor::kRsvdBatched): every block of a uniform tree level multiplies
+/// ONE shared Gaussian test matrix, passed here with stride_b == 0.
 template <typename T>
 void gemm_strided_batched(Op opa, Op opb, index_t m, index_t n, index_t k,
                           T alpha, const T* a, index_t lda, index_t stride_a,
@@ -67,14 +68,26 @@ template <typename T>
 void getrf_nopivot_batched(std::span<const MatrixView<T>> a,
                            BatchPolicy policy = BatchPolicy::kAuto);
 
-/// Batched triangular solve from getrf output: B_i <- A_i^{-1} B_i.
+/// Batched triangular solve B_i <- A_i^{-1} B_i (left side, no transpose),
+/// all problems sharing uplo/diag — the stand-in for cuBLAS `trsmBatched`.
+/// Batched mode runs one blocked solve per pool slot (per-thread workspaces
+/// reused across problems); stream mode runs the problems sequentially with
+/// the RHS columns of each split across the pool.
+template <typename T>
+void trsm_batched(Uplo uplo, Diag diag, std::span<const ConstMatrixView<T>> a,
+                  std::span<const MatrixView<T>> b,
+                  BatchPolicy policy = BatchPolicy::kAuto);
+
+/// Batched LU solve from getrf output: B_i <- A_i^{-1} B_i. Pivots are
+/// applied once per problem, then the L/U solves run through the blocked
+/// TRSM engine (stream mode: getrs_parallel with intra-problem parallelism).
 template <typename T>
 void getrs_batched(std::span<const ConstMatrixView<T>> lu,
                    std::span<const index_t* const> ipiv,
                    std::span<const MatrixView<T>> b,
                    BatchPolicy policy = BatchPolicy::kAuto);
 
-/// Batched triangular solve without pivoting.
+/// Batched LU solve without pivoting.
 template <typename T>
 void getrs_nopivot_batched(std::span<const ConstMatrixView<T>> lu,
                            std::span<const MatrixView<T>> b,

@@ -165,17 +165,22 @@ void gemm_parallel(Op opa, Op opb, T alpha, NoDeduce<ConstMatrixView<T>> a,
     gemm(opa, opb, alpha, a, b, beta, c);
     return;
   }
-  // Split columns of C (and the matching columns/rows of op(B)) into one
-  // chunk per thread; each chunk is an independent gemm.
-  const index_t nchunks = std::min<index_t>(nt, c.cols);
-  parallel_for_static(nchunks, [&](index_t t) {
-    const index_t j0 = t * c.cols / nchunks;
-    const index_t j1 = (t + 1) * c.cols / nchunks;
-    if (j1 == j0) return;
-    ConstMatrixView<T> bs = (opb == Op::N)
-                                ? b.cols_range(j0, j1 - j0)
-                                : b.rows_range(j0, j1 - j0);
-    gemm(opa, opb, alpha, a, bs, beta, c.cols_range(j0, j1 - j0));
+  const index_t k = op_cols(opa, a);
+  // Preferred path: pack op(A) ONCE into the pool's persistent shared slot
+  // and split the columns of C across the pool (each chunk reads the shared
+  // tiles instead of re-packing A). Falls through when the shape doesn't
+  // qualify or the slot is busy.
+  if (gemm_parallel_shared_a(opa, opb, alpha, a, b, beta, c)) {
+    FlopCounter::instance().add(
+        FlopCounter::kGemm, FlopCounter::gemm_flops<T>(c.rows, c.cols, k));
+    return;
+  }
+  // Fallback: split columns of C (and the matching columns/rows of op(B))
+  // into one chunk per thread; each chunk is an independent gemm.
+  parallel_chunks(c.cols, [&](index_t j0, index_t nc) {
+    ConstMatrixView<T> bs =
+        (opb == Op::N) ? b.cols_range(j0, nc) : b.rows_range(j0, nc);
+    gemm(opa, opb, alpha, a, bs, beta, c.cols_range(j0, nc));
   });
 }
 

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/config.hpp"
+
+/// \file env.hpp
+/// One parser for every runtime-tunable knob (pool size, cache blockings,
+/// TRSM block size), so parsing and clamping behavior can't drift between
+/// subsystems.
+
+namespace hodlrx {
+
+/// Positive integer from the environment: `fallback` when the variable is
+/// unset, empty, non-numeric, or <= 0; otherwise the leading number (text
+/// after the digits is ignored, so OMP-style lists like "4,2" read their
+/// first entry), clamped to at least `min_v`.
+inline index_t env_positive(const char* name, index_t fallback,
+                            index_t min_v = 1) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || v <= 0) return fallback;
+  return std::max<index_t>(min_v, static_cast<index_t>(v));
+}
+
+}  // namespace hodlrx

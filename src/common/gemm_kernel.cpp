@@ -2,16 +2,33 @@
 
 #include <atomic>
 #include <complex>
+#include <mutex>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/workspace.hpp"
 
 namespace hodlrx {
 
+template <typename T>
+const CacheBlocking& gemm_blocking() {
+  // Read once per process (per scalar type); every pack and every consumer
+  // of the packed layout sees the same values. Clamps keep packing well
+  // formed.
+  static const CacheBlocking p{
+      env_positive("HODLRX_GEMM_MC", GemmBlocking<T>::MC, GemmBlocking<T>::MR),
+      env_positive("HODLRX_GEMM_KC", GemmBlocking<T>::KC),
+      env_positive("HODLRX_GEMM_NC", GemmBlocking<T>::NC,
+                   GemmBlocking<T>::NR)};
+  return p;
+}
+
 namespace gemm_stats {
 
 namespace {
-std::atomic<std::uint64_t> g_a_packs{0}, g_b_packs{0}, g_shared_packs{0};
+std::atomic<std::uint64_t> g_a_packs{0}, g_b_packs{0}, g_shared_packs{0},
+    g_pool_packs{0};
 }  // namespace
 
 std::uint64_t a_packs() { return g_a_packs.load(std::memory_order_relaxed); }
@@ -19,10 +36,14 @@ std::uint64_t b_packs() { return g_b_packs.load(std::memory_order_relaxed); }
 std::uint64_t shared_packs() {
   return g_shared_packs.load(std::memory_order_relaxed);
 }
+std::uint64_t pool_packs() {
+  return g_pool_packs.load(std::memory_order_relaxed);
+}
 void reset() {
   g_a_packs.store(0, std::memory_order_relaxed);
   g_b_packs.store(0, std::memory_order_relaxed);
   g_shared_packs.store(0, std::memory_order_relaxed);
+  g_pool_packs.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace gemm_stats
@@ -186,9 +207,8 @@ void scale_c(T beta, MatrixView<T> c) {
 template <typename T>
 void gemm_packed(Op opa, Op opb, T alpha, NoDeduce<ConstMatrixView<T>> a,
                  NoDeduce<ConstMatrixView<T>> b, T beta, MatrixView<T> c) {
-  constexpr index_t MC = GemmBlocking<T>::MC;
-  constexpr index_t KC = GemmBlocking<T>::KC;
-  constexpr index_t NC = GemmBlocking<T>::NC;
+  const CacheBlocking& blk = gemm_blocking<T>();
+  const index_t MC = blk.mc, KC = blk.kc, NC = blk.nc;
   const index_t m = c.rows, n = c.cols, k = op_cols(opa, a);
   if (m == 0 || n == 0) return;
   if (k == 0 || alpha == T{}) {
@@ -217,17 +237,16 @@ void gemm_packed(Op opa, Op opb, T alpha, NoDeduce<ConstMatrixView<T>> a,
 }
 
 template <typename T>
-PackedMatrix<T> pack_a_full(Op opa, ConstMatrixView<T> a) {
+void pack_a_full_into(Op opa, ConstMatrixView<T> a, PackedMatrix<T>& p) {
   constexpr index_t MR = GemmBlocking<T>::MR;
-  constexpr index_t MC = GemmBlocking<T>::MC;
-  constexpr index_t KC = GemmBlocking<T>::KC;
-  PackedMatrix<T> p;
+  const CacheBlocking& blk = gemm_blocking<T>();
+  const index_t MC = blk.mc, KC = blk.kc;
   p.kind_ = PackedMatrix<T>::Kind::kA;
   p.rows_ = op_rows(opa, a);
   p.cols_ = op_cols(opa, a);
   p.grid_rows_ = ceil_div(p.rows_, MC);
   p.grid_cols_ = ceil_div(p.cols_, KC);
-  if (p.empty()) return p;
+  if (p.empty()) return;
   p.offsets_.resize(static_cast<std::size_t>(p.grid_rows_ * p.grid_cols_));
   index_t total = 0;
   for (index_t it = 0; it < p.grid_rows_; ++it) {
@@ -238,6 +257,8 @@ PackedMatrix<T> pack_a_full(Op opa, ConstMatrixView<T> a) {
       total += ceil_div(mc, MR) * MR * kc;
     }
   }
+  if (p.buf_.size() < static_cast<std::size_t>(total))
+    p.buf_.clear();  // don't copy a stale pack when the slot grows
   p.buf_.resize(static_cast<std::size_t>(total));
   for (index_t it = 0; it < p.grid_rows_; ++it) {
     const index_t mc = std::min(MC, p.rows_ - it * MC);
@@ -247,6 +268,12 @@ PackedMatrix<T> pack_a_full(Op opa, ConstMatrixView<T> a) {
                    p.buf_.data() + p.offsets_[it * p.grid_cols_ + pt]);
     }
   }
+}
+
+template <typename T>
+PackedMatrix<T> pack_a_full(Op opa, ConstMatrixView<T> a) {
+  PackedMatrix<T> p;
+  pack_a_full_into(opa, a, p);
   gemm_stats::g_shared_packs.fetch_add(1, std::memory_order_relaxed);
   return p;
 }
@@ -254,8 +281,8 @@ PackedMatrix<T> pack_a_full(Op opa, ConstMatrixView<T> a) {
 template <typename T>
 PackedMatrix<T> pack_b_full(Op opb, ConstMatrixView<T> b) {
   constexpr index_t NR = GemmBlocking<T>::NR;
-  constexpr index_t KC = GemmBlocking<T>::KC;
-  constexpr index_t NC = GemmBlocking<T>::NC;
+  const CacheBlocking& blk = gemm_blocking<T>();
+  const index_t KC = blk.kc, NC = blk.nc;
   PackedMatrix<T> p;
   p.kind_ = PackedMatrix<T>::Kind::kB;
   p.rows_ = op_rows(opb, b);
@@ -290,9 +317,8 @@ template <typename T>
 void gemm_prepacked_a(const PackedMatrix<T>& ap, T alpha, Op opb,
                       NoDeduce<ConstMatrixView<T>> b, T beta,
                       MatrixView<T> c) {
-  constexpr index_t MC = GemmBlocking<T>::MC;
-  constexpr index_t KC = GemmBlocking<T>::KC;
-  constexpr index_t NC = GemmBlocking<T>::NC;
+  const CacheBlocking& blk = gemm_blocking<T>();
+  const index_t MC = blk.mc, KC = blk.kc, NC = blk.nc;
   HODLRX_REQUIRE(ap.kind() == PackedMatrix<T>::Kind::kA,
                  "gemm_prepacked_a: operand was packed as B");
   const index_t m = c.rows, n = c.cols, k = ap.cols();
@@ -325,9 +351,8 @@ void gemm_prepacked_a(const PackedMatrix<T>& ap, T alpha, Op opb,
 template <typename T>
 void gemm_prepacked_b(Op opa, T alpha, NoDeduce<ConstMatrixView<T>> a,
                       const PackedMatrix<T>& bp, T beta, MatrixView<T> c) {
-  constexpr index_t MC = GemmBlocking<T>::MC;
-  constexpr index_t KC = GemmBlocking<T>::KC;
-  constexpr index_t NC = GemmBlocking<T>::NC;
+  const CacheBlocking& blk = gemm_blocking<T>();
+  const index_t MC = blk.mc, KC = blk.kc, NC = blk.nc;
   HODLRX_REQUIRE(bp.kind() == PackedMatrix<T>::Kind::kB,
                  "gemm_prepacked_b: operand was packed as A");
   const index_t m = c.rows, n = c.cols, k = bp.rows();
@@ -357,18 +382,57 @@ void gemm_prepacked_b(Op opa, T alpha, NoDeduce<ConstMatrixView<T>> a,
   }
 }
 
+/// Upper bound on the pool's persistent shared A-pack slot. Stream-mode
+/// trailing updates (tall-skinny A) fit comfortably; a huge square multiply
+/// falls back to the column-split path rather than holding a giant pack.
+constexpr std::size_t kSharedAPackBudget = std::size_t{64} << 20;  // 64 MB
+
+template <typename T>
+bool gemm_parallel_shared_a(Op opa, Op opb, T alpha,
+                            NoDeduce<ConstMatrixView<T>> a,
+                            NoDeduce<ConstMatrixView<T>> b, T beta,
+                            MatrixView<T> c) {
+  const index_t m = c.rows, n = c.cols, k = op_cols(opa, a);
+  if (!use_packed_gemm(opa, opb, m, n, k)) return false;
+  if (static_cast<std::size_t>(m) * static_cast<std::size_t>(k) * sizeof(T) >
+      kSharedAPackBudget)
+    return false;
+  // One persistent slot per scalar type: the pack buffer reaches steady-state
+  // size once and is reused by every subsequent launch. try_lock so a second
+  // concurrent launch degrades to the fallback instead of serializing.
+  static std::mutex slot_mu;
+  static PackedMatrix<T> slot;
+  std::unique_lock<std::mutex> lk(slot_mu, std::try_to_lock);
+  if (!lk.owns_lock()) return false;
+  pack_a_full_into<T>(opa, a, slot);
+  gemm_stats::g_pool_packs.fetch_add(1, std::memory_order_relaxed);
+  parallel_chunks(n, [&](index_t j0, index_t nc) {
+    ConstMatrixView<T> bs =
+        (opb == Op::N) ? b.cols_range(j0, nc) : b.rows_range(j0, nc);
+    gemm_prepacked_a<T>(slot, alpha, opb, bs, beta, c.cols_range(j0, nc));
+  });
+  return true;
+}
+
 #define HODLRX_INSTANTIATE_GEMM_KERNEL(T)                                     \
   template class PackedMatrix<T>;                                            \
   template void gemm_packed<T>(Op, Op, T, NoDeduce<ConstMatrixView<T>>,       \
                                NoDeduce<ConstMatrixView<T>>, T,               \
                                MatrixView<T>);                                \
+  template const CacheBlocking& gemm_blocking<T>();                           \
   template PackedMatrix<T> pack_a_full<T>(Op, ConstMatrixView<T>);            \
+  template void pack_a_full_into<T>(Op, ConstMatrixView<T>,                   \
+                                    PackedMatrix<T>&);                        \
   template PackedMatrix<T> pack_b_full<T>(Op, ConstMatrixView<T>);            \
   template void gemm_prepacked_a<T>(const PackedMatrix<T>&, T, Op,            \
                                     NoDeduce<ConstMatrixView<T>>, T,          \
                                     MatrixView<T>);                           \
   template void gemm_prepacked_b<T>(Op, T, NoDeduce<ConstMatrixView<T>>,      \
-                                    const PackedMatrix<T>&, T, MatrixView<T>);
+                                    const PackedMatrix<T>&, T, MatrixView<T>);\
+  template bool gemm_parallel_shared_a<T>(Op, Op, T,                          \
+                                          NoDeduce<ConstMatrixView<T>>,       \
+                                          NoDeduce<ConstMatrixView<T>>, T,    \
+                                          MatrixView<T>);
 
 HODLRX_INSTANTIATE_GEMM_KERNEL(float)
 HODLRX_INSTANTIATE_GEMM_KERNEL(double)

@@ -34,9 +34,23 @@ namespace hodlrx {
 
 /// Cache/register blocking parameters, tuned per scalar width. MC/KC size
 /// the A-pack for L2, KC*NC sizes the B-pack for L3; MR x NR is the register
-/// tile (accumulators stay in registers across the k loop).
+/// tile (accumulators stay in registers across the k loop). MR/NR are
+/// compile-time (the micro-kernel unrolls over them); MC/KC/NC are the
+/// *defaults* for the runtime values below.
 template <typename T>
 struct GemmBlocking;
+
+/// Runtime cache-blocking: GemmBlocking<T>'s MC/KC/NC unless overridden via
+/// the environment (HODLRX_GEMM_MC / HODLRX_GEMM_KC / HODLRX_GEMM_NC, read
+/// once per process and applied to every scalar type). A stepping stone
+/// toward per-microarchitecture dispatch: cache sizes can be tuned without a
+/// rebuild. Values are clamped so packing stays well formed (mc >= MR,
+/// nc >= NR, kc >= 1); the register tile itself is not overridable.
+struct CacheBlocking {
+  index_t mc, kc, nc;
+};
+template <typename T>
+const CacheBlocking& gemm_blocking();
 
 template <>
 struct GemmBlocking<float> {
@@ -63,8 +77,13 @@ namespace gemm_stats {
 std::uint64_t a_packs();
 /// Per-block B packs performed inside gemm calls.
 std::uint64_t b_packs();
-/// Full-operand packs shared across a batch (one per pack_*_full call).
+/// Full-operand packs shared across a BATCH (one per pack_a_full /
+/// pack_b_full call) — the stride-0 batched fast path. Pool-shared packs are
+/// counted separately so exact-count assertions stay machine-independent.
 std::uint64_t shared_packs();
+/// Full A-packs into the pool's persistent slot (one per qualifying
+/// gemm_parallel launch; see gemm_parallel_shared_a).
+std::uint64_t pool_packs();
 void reset();
 }  // namespace gemm_stats
 
@@ -106,6 +125,9 @@ class PackedMatrix {
   friend PackedMatrix<U> pack_a_full(Op opa, ConstMatrixView<U> a);
   template <typename U>
   friend PackedMatrix<U> pack_b_full(Op opb, ConstMatrixView<U> b);
+  template <typename U>
+  friend void pack_a_full_into(Op opa, ConstMatrixView<U> a,
+                               PackedMatrix<U>& out);
 
   Kind kind_ = Kind::kA;
   index_t rows_ = 0, cols_ = 0;
@@ -118,6 +140,14 @@ class PackedMatrix {
 /// (MC, KC) cache block. Counts one shared pack.
 template <typename T>
 PackedMatrix<T> pack_a_full(Op opa, ConstMatrixView<T> a);
+
+/// As pack_a_full, but reuses `out`'s existing storage (no allocation once
+/// the buffer has grown to steady state) and does NOT touch the pack
+/// counters (call sites account under the stat that fits their role). This
+/// is the pool's persistent shared A-pack slot: gemm_parallel packs op(A)
+/// once per launch into it and every column chunk reads the shared tiles.
+template <typename T>
+void pack_a_full_into(Op opa, ConstMatrixView<T> a, PackedMatrix<T>& out);
 
 /// Pack all of op(B) (shape k x n) into NR-panel layout, one tile per
 /// (KC, NC) cache block. Counts one shared pack.
@@ -133,5 +163,18 @@ void gemm_prepacked_a(const PackedMatrix<T>& ap, T alpha, Op opb,
 template <typename T>
 void gemm_prepacked_b(Op opa, T alpha, NoDeduce<ConstMatrixView<T>> a,
                       const PackedMatrix<T>& bp, T beta, MatrixView<T> c);
+
+/// Pool-parallel multiply with a SHARED A-pack: op(A) is packed once into a
+/// persistent per-type slot and the columns of C are split across the
+/// persistent thread pool, each chunk multiplying against the shared tiles
+/// (no duplicate per-chunk A packing). Returns false — caller must fall back
+/// to the column-split path — when the shape would not amortize packing, the
+/// pack would exceed the slot budget, or the slot is held by a concurrent
+/// launch. Does not touch the flop counters.
+template <typename T>
+bool gemm_parallel_shared_a(Op opa, Op opb, T alpha,
+                            NoDeduce<ConstMatrixView<T>> a,
+                            NoDeduce<ConstMatrixView<T>> b, T beta,
+                            MatrixView<T> c);
 
 }  // namespace hodlrx

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/flops.hpp"
+#include "common/trsm_kernel.hpp"
 
 namespace hodlrx {
 
@@ -237,29 +238,9 @@ void trsm_left(Uplo uplo, Diag diag, NoDeduce<ConstMatrixView<T>> a,
                MatrixView<T> b) {
   const index_t n = a.rows;
   HODLRX_REQUIRE(a.cols == n && b.rows == n, "trsm_left: shape mismatch");
-  if (uplo == Uplo::Lower) {
-    for (index_t j = 0; j < b.cols; ++j) {
-      T* __restrict__ x = b.data + j * b.ld;
-      for (index_t k = 0; k < n; ++k) {
-        if (diag == Diag::NonUnit) x[k] /= a(k, k);
-        const T xk = x[k];
-        if (xk == T{}) continue;
-        const T* __restrict__ lk = a.data + k * a.ld;
-        for (index_t i = k + 1; i < n; ++i) x[i] -= lk[i] * xk;
-      }
-    }
-  } else {
-    for (index_t j = 0; j < b.cols; ++j) {
-      T* __restrict__ x = b.data + j * b.ld;
-      for (index_t k = n - 1; k >= 0; --k) {
-        if (diag == Diag::NonUnit) x[k] /= a(k, k);
-        const T xk = x[k];
-        if (xk == T{}) continue;
-        const T* __restrict__ uk = a.data + k * a.ld;
-        for (index_t i = 0; i < k; ++i) x[i] -= uk[i] * xk;
-      }
-    }
-  }
+  // The engine falls back to the reference kernel below the diagonal-block
+  // size, so this single call covers both regimes.
+  trsm_left_blocked<T>(uplo, diag, a, b);
   FlopCounter::instance().add(
       FlopCounter::kTrsm,
       (is_complex_v<T> ? 4ull : 1ull) * static_cast<std::uint64_t>(n) *
@@ -282,6 +263,24 @@ void getrs_nopivot(NoDeduce<ConstMatrixView<T>> lu, MatrixView<T> b) {
                  "getrs_nopivot: shape mismatch");
   trsm_left(Uplo::Lower, Diag::Unit, lu, b);
   trsm_left(Uplo::Upper, Diag::NonUnit, lu, b);
+}
+
+template <typename T>
+void getrs_parallel(NoDeduce<ConstMatrixView<T>> lu, const index_t* ipiv,
+                    MatrixView<T> b) {
+  HODLRX_REQUIRE(lu.rows == lu.cols && lu.rows == b.rows,
+                 "getrs_parallel: shape mismatch");
+  laswp(b, ipiv, lu.rows, /*forward=*/true);
+  trsm_left_parallel<T>(Uplo::Lower, Diag::Unit, lu, b);
+  trsm_left_parallel<T>(Uplo::Upper, Diag::NonUnit, lu, b);
+}
+
+template <typename T>
+void getrs_nopivot_parallel(NoDeduce<ConstMatrixView<T>> lu, MatrixView<T> b) {
+  HODLRX_REQUIRE(lu.rows == lu.cols && lu.rows == b.rows,
+                 "getrs_nopivot_parallel: shape mismatch");
+  trsm_left_parallel<T>(Uplo::Lower, Diag::Unit, lu, b);
+  trsm_left_parallel<T>(Uplo::Upper, Diag::NonUnit, lu, b);
 }
 
 namespace {
@@ -536,6 +535,10 @@ Matrix<T> dense_solve(ConstMatrixView<T> a, NoDeduce<ConstMatrixView<T>> b) {
                          MatrixView<T>);                                    \
   template void getrs_nopivot<T>(NoDeduce<ConstMatrixView<T>>,              \
                                  MatrixView<T>);                            \
+  template void getrs_parallel<T>(NoDeduce<ConstMatrixView<T>>,             \
+                                  const index_t*, MatrixView<T>);           \
+  template void getrs_nopivot_parallel<T>(NoDeduce<ConstMatrixView<T>>,     \
+                                          MatrixView<T>);                   \
   template void trsm_left<T>(Uplo, Diag, NoDeduce<ConstMatrixView<T>>,      \
                              MatrixView<T>);                                \
   template QRFactors<T> geqrf<T>(ConstMatrixView<T>);                       \

@@ -42,7 +42,9 @@ void getrf_nopivot_parallel(MatrixView<T> a);
 template <typename T>
 void laswp(MatrixView<T> b, const index_t* ipiv, index_t npiv, bool forward);
 
-/// Solve A X = B in place given getrf output (B overwritten with X).
+/// Solve A X = B in place given getrf output (B overwritten with X): the
+/// row interchanges are applied ONCE, then the L and U solves run through
+/// the blocked TRSM engine (trsm_kernel.hpp).
 template <typename T>
 void getrs(NoDeduce<ConstMatrixView<T>> lu, const index_t* ipiv,
            MatrixView<T> b);
@@ -51,7 +53,20 @@ void getrs(NoDeduce<ConstMatrixView<T>> lu, const index_t* ipiv,
 template <typename T>
 void getrs_nopivot(NoDeduce<ConstMatrixView<T>> lu, MatrixView<T> b);
 
-/// Triangular solve (left side, no transpose): B <- op(A)^{-1} B.
+/// getrs with intra-problem parallelism: pivots applied once, then the
+/// blocked L/U solves run with the RHS columns split across the persistent
+/// pool. The batched engine's "stream mode" solve for few, large problems.
+template <typename T>
+void getrs_parallel(NoDeduce<ConstMatrixView<T>> lu, const index_t* ipiv,
+                    MatrixView<T> b);
+
+/// getrs_nopivot with pool-parallel blocked solves (stream-mode solve).
+template <typename T>
+void getrs_nopivot_parallel(NoDeduce<ConstMatrixView<T>> lu, MatrixView<T> b);
+
+/// Triangular solve (left side, no transpose): B <- op(A)^{-1} B. Dispatches
+/// into the blocked TRSM engine above the diagonal-block size (see
+/// trsm_kernel.hpp); small problems keep the reference kernel.
 template <typename T>
 void trsm_left(Uplo uplo, Diag diag, NoDeduce<ConstMatrixView<T>> a,
                MatrixView<T> b);

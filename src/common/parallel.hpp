@@ -2,76 +2,64 @@
 
 #include <omp.h>
 
-#include <exception>
+#include <utility>
 
 #include "common/config.hpp"
+#include "common/thread_pool.hpp"
 
 /// \file parallel.hpp
-/// Thin OpenMP wrappers. Thinking in tasks rather than threads (CP.4):
-/// callers express "run f over [0, n)" and the runtime schedules it.
-/// Exceptions thrown by workers are captured and rethrown on the calling
-/// thread (an exception escaping an OpenMP region would terminate).
+/// Task-parallel wrappers (CP.4: think in tasks, not threads): callers
+/// express "run f over [0, n)" and the persistent ThreadPool schedules it.
+/// Until PR 2 these forked an OpenMP team per call; they now dispatch onto
+/// long-lived pool workers, so a parallel launch costs a condition-variable
+/// wake instead of thread churn, and per-thread state (packing arenas)
+/// persists across launches. Exceptions thrown by workers are captured and
+/// rethrown on the calling thread.
 
 namespace hodlrx {
 
-inline int max_threads() { return omp_get_max_threads(); }
-
-namespace detail {
-
-template <typename F>
-void parallel_for_impl(index_t n, F&& f, bool dynamic_schedule) {
-  std::exception_ptr error = nullptr;
-  if (dynamic_schedule) {
-#pragma omp parallel for schedule(dynamic, 1) shared(error)
-    for (index_t i = 0; i < n; ++i) {
-      try {
-        f(i);
-      } catch (...) {
-#pragma omp critical(hodlrx_parallel_for_error)
-        if (!error) error = std::current_exception();
-      }
-    }
-  } else {
-#pragma omp parallel for schedule(static) shared(error)
-    for (index_t i = 0; i < n; ++i) {
-      try {
-        f(i);
-      } catch (...) {
-#pragma omp critical(hodlrx_parallel_for_error)
-        if (!error) error = std::current_exception();
-      }
-    }
-  }
-  if (error) std::rethrow_exception(error);
-}
-
-}  // namespace detail
+/// Total threads a parallel construct may use (pool workers + caller).
+inline int max_threads() { return ThreadPool::instance().threads(); }
 
 /// Run `f(i)` for i in [0, n) with dynamic scheduling (irregular work, e.g.
 /// per-block compression). `f` must be safe to run concurrently.
 template <typename F>
 void parallel_for(index_t n, F&& f) {
-  if (n <= 0) return;
-  if (n == 1) {
-    f(index_t{0});
-    return;
-  }
-  detail::parallel_for_impl(n, std::forward<F>(f), /*dynamic=*/true);
+  ThreadPool::instance().parallel_for(n, /*dynamic=*/true,
+                                      std::forward<F>(f));
 }
 
 /// Static-scheduled variant for uniform, fine-grained work (e.g. a level of
-/// equally sized batched problems).
+/// equally sized batched problems): each participant takes one contiguous
+/// slice of [0, n).
 template <typename F>
 void parallel_for_static(index_t n, F&& f) {
-  if (n <= 0) return;
-  if (n == 1) {
-    f(index_t{0});
-    return;
-  }
-  detail::parallel_for_impl(n, std::forward<F>(f), /*dynamic=*/false);
+  ThreadPool::instance().parallel_for(n, /*dynamic=*/false,
+                                      std::forward<F>(f));
 }
 
-/// True when called from inside an OpenMP parallel region.
-inline bool in_parallel() { return omp_in_parallel() != 0; }
+/// True when called from inside a parallel region — the pool's, or a raw
+/// OpenMP region (the baseline recursive solver still uses OpenMP tasks).
+/// Nested parallel constructs observe this and run inline/serial instead of
+/// dispatching pool launches from every worker at once.
+inline bool in_parallel() {
+  return ThreadPool::in_parallel_region() || omp_in_parallel() != 0;
+}
+
+/// Split [0, n) into min(max_threads(), n) contiguous chunks and run
+/// f(begin, count) per non-empty chunk (static schedule). The shared
+/// column-partition used by every "independent columns" parallelization:
+/// gemm_parallel's fallback, the pool-shared-A path, and the stream-mode
+/// triangular solves.
+template <typename F>
+void parallel_chunks(index_t n, F&& f) {
+  const index_t nchunks =
+      std::min<index_t>(max_threads(), std::max<index_t>(n, index_t{1}));
+  parallel_for_static(nchunks, [&](index_t t) {
+    const index_t j0 = t * n / nchunks;
+    const index_t j1 = (t + 1) * n / nchunks;
+    if (j1 > j0) f(j0, j1 - j0);
+  });
+}
 
 }  // namespace hodlrx

@@ -78,4 +78,27 @@ Matrix<T> random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
   return m;
 }
 
+/// A well-conditioned random triangular matrix (shared by the TRSM tests and
+/// benches so they exercise the same problem class): off-diagonal entries
+/// scaled by 1/n so solutions don't blow up, strong diagonal, and the unused
+/// triangle zeroed so reading it would be caught. `lower` selects the
+/// nonzero triangle.
+template <typename T>
+Matrix<T> random_triangular_matrix(index_t n, bool lower,
+                                   std::uint64_t seed) {
+  Matrix<T> a = random_matrix<T>(n, n, seed);
+  const T scale = T{static_cast<real_t<T>>(1.0 / std::max<index_t>(n, 1))};
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      const bool keep = lower ? i > j : i < j;
+      if (i == j)
+        a(i, j) = T{2} + a(i, j);
+      else if (keep)
+        a(i, j) *= scale;
+      else
+        a(i, j) = T{};
+    }
+  return a;
+}
+
 }  // namespace hodlrx

@@ -1,0 +1,170 @@
+#include "common/thread_pool.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+
+namespace hodlrx {
+
+namespace {
+
+/// Set while a thread is executing pool work: permanently on workers, during
+/// a launch on the launching thread. Nested constructs check this and run
+/// inline.
+thread_local bool t_in_pool_region = false;
+
+int pool_threads_from_env() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const index_t fallback = hw > 0 ? static_cast<index_t>(hw) : 1;
+  const index_t ours = env_positive("HODLRX_NUM_THREADS", 0);
+  if (ours > 0) return static_cast<int>(ours);
+  return static_cast<int>(env_positive("OMP_NUM_THREADS", fallback));
+}
+
+}  // namespace
+
+/// One launch. Heap-allocated and shared with the workers so a worker that
+/// wakes late (after the launch already completed) dereferences a live
+/// object, finds no slot left, and goes back to sleep.
+struct ThreadPool::Job {
+  void (*body)(void*, index_t) = nullptr;
+  void* ctx = nullptr;
+  index_t n = 0;
+  bool dynamic = false;
+  int participants = 0;               ///< min(threads, n): slots that do work
+  std::atomic<index_t> next{0};       ///< dynamic-mode index counter
+  std::atomic<int> worker_slots{0};   ///< claimed worker slots (caller is 0)
+  std::atomic<int> remaining{0};      ///< worker participants still running
+  std::atomic<bool> failed{false};    ///< set on first exception: drain early
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  void work(int slot) {
+    try {
+      if (dynamic) {
+        for (;;) {
+          const index_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n || failed.load(std::memory_order_relaxed)) break;
+          body(ctx, i);
+        }
+      } else {
+        const index_t i0 = slot * n / participants;
+        const index_t i1 = (slot + 1) * n / participants;
+        for (index_t i = i0; i < i1; ++i) {
+          if (failed.load(std::memory_order_relaxed)) break;
+          body(ctx, i);
+        }
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(error_mu);
+      if (!error) error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::mutex mu;                    ///< guards job/job_seq/stop
+  std::condition_variable cv;       ///< wakes workers on a new launch
+  std::condition_variable done_cv;  ///< wakes the caller on completion
+  std::shared_ptr<Job> job;
+  std::uint64_t job_seq = 0;
+  bool stop = false;
+  std::mutex launch_mu;  ///< serializes launches from distinct user threads
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::in_parallel_region() { return t_in_pool_region; }
+
+ThreadPool::ThreadPool() : impl_(new Impl) {
+  num_threads_ = pool_threads_from_env();
+  const int workers = num_threads_ - 1;
+  impl_->workers.reserve(workers);
+  for (int w = 0; w < workers; ++w)
+    impl_->workers.emplace_back([this] { worker_main(); });
+  threads_created_ = static_cast<std::uint64_t>(workers);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::worker_main() {
+  t_in_pool_region = true;  // workers only ever execute pool work
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(impl_->mu);
+      impl_->cv.wait(lk,
+                     [&] { return impl_->stop || impl_->job_seq != seen; });
+      if (impl_->stop) return;
+      seen = impl_->job_seq;
+      job = impl_->job;
+    }
+    if (!job) continue;
+    // Claim a slot; the launching thread holds slot 0. Workers beyond
+    // `participants` (more threads than work, or a stale wake) do nothing.
+    const int slot = job->worker_slots.fetch_add(1) + 1;
+    if (slot >= job->participants) continue;
+    job->work(slot);
+    if (job->remaining.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      impl_->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(index_t n, bool dynamic, void (*body)(void*, index_t),
+                     void* ctx) {
+  if (n <= 0) return;
+  // Inline when there is nobody to share with or we are already inside a
+  // pool region (nested construct).
+  if (impl_->workers.empty() || t_in_pool_region) {
+    for (index_t i = 0; i < n; ++i) body(ctx, i);
+    return;
+  }
+  launches_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> launch_lk(impl_->launch_mu);
+  auto job = std::make_shared<Job>();
+  job->body = body;
+  job->ctx = ctx;
+  job->n = n;
+  job->dynamic = dynamic;
+  job->participants = static_cast<int>(std::min<index_t>(num_threads_, n));
+  job->remaining.store(job->participants - 1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->job = job;
+    ++impl_->job_seq;
+  }
+  impl_->cv.notify_all();
+  t_in_pool_region = true;
+  job->work(/*slot=*/0);
+  t_in_pool_region = false;
+  if (job->participants > 1) {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->done_cv.wait(lk, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace hodlrx

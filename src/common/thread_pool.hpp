@@ -1,0 +1,94 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/config.hpp"
+
+/// \file thread_pool.hpp
+/// The persistent thread pool behind every parallel construct in the project.
+///
+/// The seed paid an OpenMP fork/join on every batched "kernel launch" and
+/// every parallel GEMM. This pool spawns its workers exactly once (the count
+/// is read from HODLRX_NUM_THREADS, then OMP_NUM_THREADS, then the hardware
+/// concurrency) and keeps them parked on a condition variable between
+/// launches, so a launch costs one broadcast wake instead of thread churn.
+/// Because the workers are long-lived, everything keyed by `thread_local` —
+/// most importantly the packing arenas of `WorkspaceArena::local()` — stays
+/// warm across launches: steady-state batched sweeps allocate nothing.
+///
+/// Scheduling: `parallel_for(n, dynamic, f)` runs f(i) for i in [0, n).
+/// Static mode hands each participant one contiguous slice (uniform batched
+/// problems); dynamic mode pulls indices from a shared atomic counter
+/// (irregular per-block work). The calling thread always participates, so a
+/// pool of size P uses P threads total, not P+1. Nested calls from inside a
+/// pool region run inline on the calling thread (same behavior the OpenMP
+/// wrappers had for nested regions). Exceptions thrown by the body are
+/// captured, the launch drains early, and the first exception is rethrown on
+/// the calling thread.
+
+namespace hodlrx {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool (workers spawned on first use).
+  static ThreadPool& instance();
+
+  /// Total participants of a launch: worker threads + the caller.
+  int threads() const { return num_threads_; }
+
+  /// True on a thread currently executing pool work (workers always; the
+  /// launching thread while its launch is in flight). Nested parallel
+  /// constructs observe this and run inline.
+  static bool in_parallel_region();
+
+  /// Number of launches actually dispatched to the workers so far. Inline
+  /// executions (n <= 1, nested regions, zero-worker pools) are not counted
+  /// — they pay no wake. Monotonic; used by tests and benches.
+  std::uint64_t launches() const {
+    return launches_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of threads ever created by the pool. Constant after
+  /// construction — the "no per-launch thread re-creation" invariant that
+  /// tests assert.
+  std::uint64_t threads_created() const { return threads_created_; }
+
+  /// Run f(i) for i in [0, n). `dynamic` selects work-stealing off a shared
+  /// counter; otherwise each participant takes one contiguous slice.
+  template <typename F>
+  void parallel_for(index_t n, bool dynamic, F&& f) {
+    if (n <= 0) return;
+    if (n == 1) {
+      f(index_t{0});
+      return;
+    }
+    using Fn = std::remove_reference_t<F>;
+    Fn& fn = f;
+    run(n, dynamic,
+        [](void* ctx, index_t i) { (*static_cast<Fn*>(ctx))(i); },
+        const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  struct Job;  // internal launch descriptor (thread_pool.cpp)
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+
+  /// Type-erased launch: body(ctx, i) for i in [0, n).
+  void run(index_t n, bool dynamic, void (*body)(void*, index_t), void* ctx);
+  void worker_main();
+
+  struct Impl;
+  Impl* impl_;  // pimpl so <thread>/<mutex> stay out of this hot header
+  int num_threads_ = 1;
+  std::uint64_t threads_created_ = 0;
+  std::atomic<std::uint64_t> launches_{0};
+};
+
+}  // namespace hodlrx

@@ -11,6 +11,9 @@
 /// to one or two batched device calls:
 ///   BATCHED-LU-FACTORIZE  -> getrf_batched / getrf_nopivot_batched
 ///   BATCHED-LU-SOLVE      -> getrs_batched / getrs_nopivot_batched
+///                            (blocked TRSM engine underneath: pivots applied
+///                            once, register-tiled diagonal solves, packed
+///                            GEMM trailing updates — see trsm_kernel.hpp)
 ///   BATCHED-GEMM          -> gemm_batched, or gemm_strided_batched when the
 ///                            level's node sizes are uniform (Sec. III-C).
 
@@ -220,7 +223,9 @@ void FactorEngine<T>::run_solve_batched(const F& f, MatrixView<T> x) {
   const index_t ldy = f.ybig_.rows();
   const index_t nrhs = x.cols;
 
-  // --- Algorithm 4, line 2: batched leaf solves ---------------------------
+  // --- Algorithm 4, line 2: batched leaf solves (blocked TRSM engine:
+  // stream mode runs getrs_parallel, batched mode one blocked getrs per
+  // pool slot — no reference column-at-a-time solves on this path) --------
   {
     const index_t leaves = tree.num_leaves();
     std::vector<ConstMatrixView<T>> lu(leaves);

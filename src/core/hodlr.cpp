@@ -6,8 +6,85 @@
 #include "common/parallel.hpp"
 #include "lowrank/aca.hpp"
 #include "lowrank/recompress.hpp"
+#include "lowrank/rsvd.hpp"
 
 namespace hodlrx {
+
+namespace {
+
+/// Batched-rsvd construction from a dense view: every uniform tree level is
+/// compressed in TWO strided-batched sweeps (one per sibling side), each
+/// sketching all of the level's blocks against ONE shared Gaussian test
+/// matrix — the production caller of the batch layer's stride-0 pack-once
+/// fast path (see rsvd_strided_batched). Non-uniform levels fall back to an
+/// independent rsvd per block.
+template <typename T>
+HodlrMatrix<T> build_from_dense_rsvd(ConstMatrixView<T> a,
+                                     const ClusterTree& tree,
+                                     const BuildOptions& opt,
+                                     HodlrMatrix<T>&& h) {
+  HODLRX_REQUIRE(opt.max_rank > 0,
+                 "Compressor::kRsvdBatched needs max_rank > 0 (the sketch "
+                 "width); got " << opt.max_rank);
+  RsvdOptions ropt;
+  ropt.rank = opt.max_rank;
+  ropt.oversampling = opt.rsvd_oversampling;
+  ropt.power_iterations = opt.rsvd_power_iterations;
+  ropt.tol = opt.tol;
+
+  for (index_t level = 1; level <= tree.depth(); ++level) {
+    const index_t begin = ClusterTree::level_begin(level);
+    const index_t count = ClusterTree::nodes_at_level(level);
+    const index_t q = count / 2;  // sibling pairs
+    const index_t s = tree.node(begin).size();
+    bool uniform = true;
+    for (index_t t = 0; t < count && uniform; ++t) {
+      const ClusterNode& c = tree.node(begin + t);
+      uniform = c.size() == s && c.begin == tree.node(begin).begin + t * s;
+    }
+    if (uniform && s > 0) {
+      // Sibling pair j occupies rows/cols [2js, (2j+2)s): both the "upper"
+      // blocks A(I_2j, I_2j+1) and the "lower" blocks A(I_2j+1, I_2j) are
+      // s x s at a constant stride of 2s(ld + 1) — exactly the layout
+      // rsvd_strided_batched wants.
+      const index_t b0 = tree.node(begin).begin;
+      const index_t stride = 2 * s * (a.ld + 1);
+      ropt.seed = opt.seed + 2 * level;
+      auto upper = rsvd_strided_batched<T>(a.data + b0 + (b0 + s) * a.ld,
+                                           a.ld, stride, s, s, q, ropt);
+      ropt.seed = opt.seed + 2 * level + 1;
+      auto lower = rsvd_strided_batched<T>(a.data + (b0 + s) + b0 * a.ld,
+                                           a.ld, stride, s, s, q, ropt);
+      for (index_t j = 0; j < q; ++j) {
+        const index_t nu = begin + 2 * j;   // rows of the upper block
+        const index_t sib = nu + 1;         // rows of the lower block
+        h.u(nu) = std::move(upper[j].u);
+        h.v(sib) = std::move(upper[j].v);
+        h.u(sib) = std::move(lower[j].u);
+        h.v(nu) = std::move(lower[j].v);
+      }
+    } else {
+      ropt.seed = opt.seed + 2 * level;
+      parallel_for(count, [&](index_t t) {
+        const index_t nu = begin + t;
+        const index_t sib = ClusterTree::sibling(nu);
+        const ClusterNode& rowc = tree.node(nu);
+        const ClusterNode& colc = tree.node(sib);
+        LowRankFactor<T> f = rsvd<T>(
+            a.block(rowc.begin, colc.begin, rowc.size(), colc.size()), ropt);
+        h.u(nu) = std::move(f.u);
+        h.v(sib) = std::move(f.v);
+      });
+    }
+  }
+  parallel_for(tree.num_leaves(), [&](index_t j) {
+    const ClusterNode& c = tree.node(tree.leaf(j));
+    h.leaf_block(j) = to_matrix(a.block(c.begin, c.begin, c.size(), c.size()));
+  });
+  return std::move(h);
+}
+
+}  // namespace
 
 template <typename T>
 HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
@@ -70,6 +147,18 @@ template <typename T>
 HodlrMatrix<T> HodlrMatrix<T>::build_from_dense(ConstMatrixView<T> a,
                                                 const ClusterTree& tree,
                                                 const BuildOptions& opt) {
+  HODLRX_REQUIRE(a.rows == tree.n() && a.cols == tree.n(),
+                 "build_from_dense: matrix is " << a.rows << "x" << a.cols
+                                                << " but tree has n="
+                                                << tree.n());
+  if (opt.compressor == Compressor::kRsvdBatched) {
+    HodlrMatrix<T> h;
+    h.tree_ = tree;
+    h.u_.resize(tree.num_nodes());
+    h.v_.resize(tree.num_nodes());
+    h.leaf_d_.resize(tree.num_leaves());
+    return build_from_dense_rsvd<T>(a, tree, opt, std::move(h));
+  }
   DenseGenerator<T> g(to_matrix(a));
   return build(g, tree, opt);
 }

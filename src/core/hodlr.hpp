@@ -28,7 +28,11 @@ class HodlrMatrix {
   static HodlrMatrix build(const MatrixGenerator<T>& g, const ClusterTree& tree,
                            const BuildOptions& opt = {});
 
-  /// Wrap a dense matrix (tests, small problems).
+  /// Compress a dense matrix. With the default Compressor::kAca this wraps
+  /// `build` over a dense generator; with Compressor::kRsvdBatched every
+  /// uniform tree level is compressed in one batched randomized-SVD sweep in
+  /// which all blocks multiply ONE shared Gaussian test matrix (the batch
+  /// layer's stride-0 pack-once fast path; requires opt.max_rank > 0).
   static HodlrMatrix build_from_dense(ConstMatrixView<T> a,
                                       const ClusterTree& tree,
                                       const BuildOptions& opt = {});

@@ -24,6 +24,16 @@ enum class ExecMode {
   kBatched,  ///< Algorithms 3/4: batched kernels on the device engine
 };
 
+/// Which compressor builds the off-diagonal low-rank blocks.
+enum class Compressor {
+  kAca,          ///< rook-pivoted ACA per block (entry access; the default)
+  kRsvdBatched,  ///< batched randomized SVD: every uniform tree level is
+                 ///< swept in one batched launch in which ALL blocks multiply
+                 ///< ONE shared Gaussian test matrix (the stride-0 pack-once
+                 ///< fast path). Dense input only (build_from_dense);
+                 ///< requires max_rank > 0 (the sketch width).
+};
+
 /// Construction (compression) options.
 struct BuildOptions {
   double tol = 1e-12;        ///< relative accuracy of low-rank blocks
@@ -31,6 +41,9 @@ struct BuildOptions {
   bool recompress = true;    ///< SVD re-truncation after ACA
   int rook_iterations = 3;
   std::uint64_t seed = 7;
+  Compressor compressor = Compressor::kAca;
+  index_t rsvd_oversampling = 8;  ///< extra sketch columns (kRsvdBatched)
+  int rsvd_power_iterations = 1;  ///< subspace iterations (kRsvdBatched)
 };
 
 /// Factorization options.

@@ -2,27 +2,29 @@
 
 #include <complex>
 
+#include "batched/batched_blas.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/random.hpp"
 
 namespace hodlrx {
 
+namespace {
+
+/// Sketch width for the options: min(m, n, rank + oversampling).
+index_t sketch_width(index_t m, index_t n, const RsvdOptions& opt) {
+  return std::min({m, n, opt.rank + opt.oversampling});
+}
+
+/// Finish an rsvd given the range sketch Y = A * G: orthonormalize,
+/// optionally power-iterate, then solve the small problem B = Q^H A and
+/// truncate. Shared by the single-block and the batched entry points.
 template <typename T>
-LowRankFactor<T> rsvd(ConstMatrixView<T> a, const RsvdOptions& opt) {
+LowRankFactor<T> rsvd_finish(ConstMatrixView<T> a, Matrix<T> y,
+                             const RsvdOptions& opt) {
   using R = real_t<T>;
   const index_t m = a.rows, n = a.cols;
-  const index_t l = std::min({m, n, opt.rank + opt.oversampling});
-  LowRankFactor<T> out;
-  if (l == 0) {
-    out.u = Matrix<T>(m, 0);
-    out.v = Matrix<T>(n, 0);
-    return out;
-  }
-
-  // Sketch the range: Y = A * G, orthonormalize, optionally power-iterate.
-  Matrix<T> g = random_matrix<T>(n, l, opt.seed);
-  Matrix<T> y(m, l);
-  gemm(Op::N, Op::N, T{1}, a, g, T{0}, y.view());
+  const index_t l = y.cols();
   Matrix<T> q = thin_q(geqrf<T>(y));
   for (int it = 0; it < opt.power_iterations; ++it) {
     Matrix<T> z(n, q.cols());
@@ -47,6 +49,7 @@ LowRankFactor<T> rsvd(ConstMatrixView<T> a, const RsvdOptions& opt) {
     k = kk;
   }
 
+  LowRankFactor<T> out;
   out.u = Matrix<T>(m, k);
   out.v = Matrix<T>(n, k);
   if (k > 0) {
@@ -61,8 +64,65 @@ LowRankFactor<T> rsvd(ConstMatrixView<T> a, const RsvdOptions& opt) {
   return out;
 }
 
-#define HODLRX_INSTANTIATE_RSVD(T) \
-  template LowRankFactor<T> rsvd<T>(ConstMatrixView<T>, const RsvdOptions&);
+}  // namespace
+
+template <typename T>
+LowRankFactor<T> rsvd(ConstMatrixView<T> a, const RsvdOptions& opt) {
+  const index_t m = a.rows, n = a.cols;
+  const index_t l = sketch_width(m, n, opt);
+  if (l == 0) {
+    LowRankFactor<T> out;
+    out.u = Matrix<T>(m, 0);
+    out.v = Matrix<T>(n, 0);
+    return out;
+  }
+  // Sketch the range: Y = A * G.
+  Matrix<T> g = random_matrix<T>(n, l, opt.seed);
+  Matrix<T> y(m, l);
+  gemm(Op::N, Op::N, T{1}, a, g, T{0}, y.view());
+  return rsvd_finish<T>(a, std::move(y), opt);
+}
+
+template <typename T>
+std::vector<LowRankFactor<T>> rsvd_strided_batched(const T* a, index_t lda,
+                                                   index_t stride_a, index_t m,
+                                                   index_t n, index_t batch,
+                                                   const RsvdOptions& opt) {
+  std::vector<LowRankFactor<T>> out(static_cast<std::size_t>(batch));
+  if (batch == 0) return out;
+  HODLRX_REQUIRE(m >= 0 && n >= 0 && lda >= m && stride_a >= 0,
+                 "rsvd_strided_batched: bad layout");
+  const index_t l = sketch_width(m, n, opt);
+  if (l == 0) {
+    for (auto& f : out) {
+      f.u = Matrix<T>(m, 0);
+      f.v = Matrix<T>(n, 0);
+    }
+    return out;
+  }
+  // One shared Gaussian test matrix for the WHOLE sweep: the stride-0 B
+  // operand makes the batch layer pack G once per launch and reuse the pack
+  // for every block (gemm_stats::shared_packs counts it).
+  Matrix<T> g = random_matrix<T>(n, l, opt.seed);
+  Matrix<T> y(m, l * batch);
+  gemm_strided_batched<T>(Op::N, Op::N, m, l, n, T{1}, a, lda, stride_a,
+                          g.data(), n, /*stride_b=*/0, T{0}, y.data(), m,
+                          m * l, batch);
+  // Per-block tails are independent: orthonormalize, power-iterate, small
+  // SVD — one block per pool slot.
+  parallel_for(batch, [&](index_t i) {
+    ConstMatrixView<T> ai(a + i * stride_a, m, n, lda);
+    out[static_cast<std::size_t>(i)] =
+        rsvd_finish<T>(ai, to_matrix(y.block(0, i * l, m, l)), opt);
+  });
+  return out;
+}
+
+#define HODLRX_INSTANTIATE_RSVD(T)                                           \
+  template LowRankFactor<T> rsvd<T>(ConstMatrixView<T>, const RsvdOptions&); \
+  template std::vector<LowRankFactor<T>> rsvd_strided_batched<T>(            \
+      const T*, index_t, index_t, index_t, index_t, index_t,                 \
+      const RsvdOptions&);
 
 HODLRX_INSTANTIATE_RSVD(float)
 HODLRX_INSTANTIATE_RSVD(double)

@@ -24,4 +24,19 @@ struct RsvdOptions {
 template <typename T>
 LowRankFactor<T> rsvd(ConstMatrixView<T> a, const RsvdOptions& opt);
 
+/// Batched rsvd of `batch` uniform-shape m x n blocks laid out at a constant
+/// stride (block i starts at a + i*stride_a, leading dimension lda) — the
+/// production caller of the batch layer's stride-0 shared-operand fast path:
+/// ALL blocks are sketched against ONE shared Gaussian test matrix G in a
+/// single `gemm_strided_batched` launch (G passed with stride 0, so it is
+/// packed once per launch and reused by every block), then the per-block
+/// tails (orthonormalization, power iterations, small SVD) run across the
+/// pool. Used by HodlrMatrix::build_from_dense to compress a uniform tree
+/// level in one sweep (paper Sec. III-C / ROADMAP item).
+template <typename T>
+std::vector<LowRankFactor<T>> rsvd_strided_batched(const T* a, index_t lda,
+                                                   index_t stride_a, index_t m,
+                                                   index_t n, index_t batch,
+                                                   const RsvdOptions& opt);
+
 }  // namespace hodlrx
