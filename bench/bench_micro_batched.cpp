@@ -5,9 +5,17 @@
 ///
 /// Self-contained driver (no google-benchmark dependency) that emits
 /// BENCH_micro_batched.json like the other benches, so batched throughput is
-/// tracked across PRs.
+/// tracked across PRs. The batched-QR section additionally emits
+/// BENCH_qr_batched.json: the panel-synchronized batched QR engine against
+/// the seed's per-block unblocked tail (the PR 2 rsvd orthonormalization
+/// path) at the compression sweep's canonical shape.
 ///
-/// Flags: --repeats N (default 3), --max-n N (cap problem sizes).
+/// Flags: --repeats N (default 3), --max-n N (cap problem sizes),
+/// --qr-only (run ONLY the QR section; pins the pool to one thread unless
+/// HODLRX_NUM_THREADS is set, so the recorded speedup is the single-thread
+/// algorithmic win, not parallelism).
+
+#include <cstdlib>
 
 #include "bench_util.hpp"
 
@@ -154,10 +162,95 @@ void bench_solves(index_t batch, index_t s, index_t nrhs, int repeats,
        static_cast<double>(batch) * s * s * nrhs);
 }
 
+/// The batched QR engine vs the seed's per-block tail, at the compression
+/// sweep's canonical shape (`batch` sketches of m x n). Three contenders,
+/// all producing the explicit thin Q of every block:
+///   - qr_tail_reference_loop: per-block unblocked geqrf + per-reflector
+///     thin Q (what the rsvd tail ran before the engine existed);
+///   - qr_tail_blocked_loop: per-block blocked in-place drivers;
+///   - qr_tail_batched: the panel-synchronized strided-batched engine.
+void bench_qr(index_t batch, index_t m, index_t n, int repeats,
+              bench::JsonArrayWriter& out) {
+  Matrix<double> a0 = random_matrix<double>(m, n * batch, 42);
+  Matrix<double> work(m, n * batch);
+  std::vector<double> tau(static_cast<std::size_t>(n) * batch);
+  auto restore = [&] { copy<double>(a0.view(), work.view()); };
+  // Householder QR + explicit thin Q work per block (real flavor).
+  const double nn = static_cast<double>(n), mm = static_cast<double>(m);
+  const double work_flops =
+      static_cast<double>(batch) * 4.0 * (mm * nn * nn - nn * nn * nn / 3.0);
+
+  const double t_ref = time_best_with_setup(repeats, restore, [&] {
+    for (index_t i = 0; i < batch; ++i) {
+      QRFactors<double> qr =
+          geqrf_reference<double>(work.view().block(0, i * n, m, n));
+      Matrix<double> q = thin_q_reference<double>(qr);
+      work(0, i * n) = q(0, 0);  // keep the result alive
+    }
+  });
+  emit(out, "qr_tail_reference_loop", batch, n, t_ref, work_flops);
+
+  const double t_blocked = time_best_with_setup(repeats, restore, [&] {
+    for (index_t i = 0; i < batch; ++i) {
+      MatrixView<double> bi = work.view().block(0, i * n, m, n);
+      geqrf_inplace<double>(bi, tau.data() + i * n);
+      thin_q_inplace<double>(work.view().block(0, i * n, m, std::min(m, n)),
+                             tau.data() + i * n);
+    }
+  });
+  emit(out, "qr_tail_blocked_loop", batch, n, t_blocked, work_flops);
+
+  const double t_batched = time_best_with_setup(repeats, restore, [&] {
+    geqrf_strided_batched<double>(work.data(), m, m * n, m, n, tau.data(), n,
+                                  batch, BatchPolicy::kForceBatched);
+    thin_q_strided_batched<double>(work.data(), m, m * n, m, n, tau.data(), n,
+                                   batch, BatchPolicy::kForceBatched);
+  });
+  emit(out, "qr_tail_batched", batch, n, t_batched, work_flops);
+
+  std::printf("%-28s batch=%5lld s=%4lld  %10.2fx vs reference "
+              "(blocked loop %.2fx) on %d threads\n",
+              "qr_tail_speedup", static_cast<long long>(batch),
+              static_cast<long long>(n), t_ref / t_batched, t_ref / t_blocked,
+              max_threads());
+  out.begin_record();
+  out.field("case", "qr_tail_speedup");
+  out.field("batch", batch);
+  out.field("m", m);
+  out.field("n", n);
+  out.field("threads", static_cast<index_t>(max_threads()));
+  out.field("speedup_batched_vs_reference", t_ref / t_batched);
+  out.field("speedup_blocked_vs_reference", t_ref / t_blocked);
+  out.end_record();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::Args args = bench::Args::parse(argc, argv);
+  // --qr-only runs just the QR section; it pins the pool to ONE thread
+  // (unless the caller overrides) BEFORE first pool use, so the emitted
+  // speedup isolates the engine's algorithmic win from parallelism.
+  bool qr_only = false;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && !std::strcmp(argv[i], "--qr-only"))
+      qr_only = true;
+    else
+      rest.push_back(argv[i]);
+  }
+  if (qr_only) setenv("HODLRX_NUM_THREADS", "1", /*overwrite=*/0);
+  bench::Args args = bench::Args::parse(static_cast<int>(rest.size()),
+                                        rest.data());
+  {
+    bench::JsonArrayWriter qr_out("BENCH_qr_batched.json");
+    std::printf("== batched QR engine vs per-block tail (%d threads) ==\n",
+                max_threads());
+    // The acceptance shape of the compression sweep: 64 sketches of 256x32.
+    bench_qr(64, 256, 32, args.repeats, qr_out);
+    bench_qr(256, 128, 16, args.repeats, qr_out);
+  }
+  std::printf("wrote BENCH_qr_batched.json\n");
+  if (qr_only) return 0;
   index_t small = 24, big = 512, lu_s = 64;
   if (args.max_n > 0) {
     big = std::min(big, args.max_n);

@@ -93,4 +93,49 @@ void getrs_nopivot_batched(std::span<const ConstMatrixView<T>> lu,
                            std::span<const MatrixView<T>> b,
                            BatchPolicy policy = BatchPolicy::kAuto);
 
+/// Launch counters of the batched QR engine (relaxed atomics, process-wide).
+/// Tests use these to assert that the compression sweep's orthonormalization
+/// tail actually runs as synchronized batched launches rather than as
+/// independent per-block pool tasks.
+namespace qr_stats {
+/// geqrf_strided_batched calls that took the panel-synchronized batched path.
+std::uint64_t geqrf_batched_sweeps();
+/// thin_q_strided_batched calls that took the batched path.
+std::uint64_t thin_q_batched_sweeps();
+/// Cross-batch panel launches (one pool dispatch factoring / forming the
+/// same panel index of EVERY problem).
+std::uint64_t panel_launches();
+void reset();
+}  // namespace qr_stats
+
+/// Batched in-place Householder QR of `batch` uniform m x n problems at a
+/// constant stride (problem i starts at a + i*stride_a, leading dimension
+/// lda) — the stand-in for cuSOLVER's `geqrfBatched`. On return each problem
+/// holds R in its upper triangle and the reflectors below; the min(m,n)
+/// Householder scalars of problem i land at tau + i*stride_tau
+/// (stride_tau >= min(m,n)).
+///
+/// Batched mode runs the blocked algorithm LEVEL-SYNCHRONIZED across the
+/// whole batch: one pool launch factors panel k of every problem (and builds
+/// its compact-WY T factor), then the trailing updates of ALL problems run
+/// as three strided-batched GEMM launches through the packed engine. Stream
+/// mode (few large problems) runs the problems sequentially through the
+/// blocked single-problem driver.
+template <typename T>
+void geqrf_strided_batched(T* a, index_t lda, index_t stride_a, index_t m,
+                           index_t n, T* tau, index_t stride_tau,
+                           index_t batch,
+                           BatchPolicy policy = BatchPolicy::kAuto);
+
+/// Overwrite the first min(m,n) columns of every problem (geqrf_strided_-
+/// batched output) with the explicit thin Q — the stand-in for a batched
+/// `orgqr`. Batched mode applies the compact-WY block reflectors
+/// back-to-front, each as one panel launch plus three strided-batched GEMM
+/// launches, so the whole batch is orthonormalized in O(n/nb) launches.
+template <typename T>
+void thin_q_strided_batched(T* a, index_t lda, index_t stride_a, index_t m,
+                            index_t n, const T* tau, index_t stride_tau,
+                            index_t batch,
+                            BatchPolicy policy = BatchPolicy::kAuto);
+
 }  // namespace hodlrx

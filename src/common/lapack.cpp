@@ -4,6 +4,7 @@
 #include <cmath>
 #include <complex>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/flops.hpp"
 #include "common/trsm_kernel.hpp"
@@ -329,31 +330,260 @@ void apply_householder(ConstMatrixView<T> factors, index_t k, T tau,
   }
 }
 
+/// Book the non-GEMM remainder of a QR under kOther (the panel reflections
+/// and larft recurrence). Mirrors add_getrf_flops.
+template <typename T>
+void add_geqrf_flops(index_t m, index_t n, std::uint64_t internal) {
+  const std::uint64_t total = (is_complex_v<T> ? 4ull : 1ull) * 2ull *
+                              static_cast<std::uint64_t>(m) *
+                              static_cast<std::uint64_t>(n) *
+                              static_cast<std::uint64_t>(std::min(m, n));
+  if (total > internal)
+    FlopCounter::instance().add(FlopCounter::kOther, total - internal);
+}
+
 }  // namespace
+
+template <typename T>
+std::uint64_t blocked_qr_internal_flops(index_t m, index_t kmax,
+                                        index_t ntotal, index_t nb) {
+  std::uint64_t total = 0;
+  for (index_t k = 0; k < kmax; k += nb) {
+    const index_t ib = std::min(nb, kmax - k);
+    const index_t mr = m - k;
+    const index_t nc = ntotal - k - ib;
+    if (nc <= 0) continue;
+    total += FlopCounter::gemm_flops<T>(ib, ib, mr);  // Gram G = V^H V
+    total += FlopCounter::gemm_flops<T>(ib, nc, mr);  // W  = V^H C
+    total += FlopCounter::gemm_flops<T>(ib, nc, ib);  // W2 = T^H W
+    total += FlopCounter::gemm_flops<T>(mr, nc, ib);  // C -= V W2
+  }
+  return total;
+}
+
+index_t qr_panel_nb() {
+  static const index_t nb = env_positive("HODLRX_QR_NB", 16, 1);
+  return nb;
+}
+
+template <typename T>
+void geqrf_panel(MatrixView<T> a, T* tau) {
+  const index_t m = a.rows, n = a.cols;
+  const index_t kmax = std::min(m, n);
+  for (index_t k = 0; k < kmax; ++k) {
+    tau[k] = make_householder(a.data + k + k * a.ld, m - k);
+    if (k + 1 < n)
+      apply_householder<T>(a, k, conj_s(tau[k]),
+                           a.block(0, k + 1, m, n - k - 1));
+  }
+}
+
+template <typename T>
+void thin_q_panel(MatrixView<T> a, const T* tau) {
+  const index_t m = a.rows, k = a.cols;
+  HODLRX_REQUIRE(k <= m, "thin_q_panel: need cols <= rows");
+  // Backward over reflectors: apply H_j to the already-formed columns to the
+  // right, then overwrite column j with H_j e_j = e_j - tau_j v_j.
+  for (index_t j = k - 1; j >= 0; --j) {
+    if (j + 1 < k)
+      apply_householder<T>(a, j, tau[j], a.block(0, j + 1, m, k - j - 1));
+    T* __restrict__ cj = a.data + j * a.ld;
+    const T tj = tau[j];
+    for (index_t i = j + 1; i < m; ++i) cj[i] *= -tj;
+    cj[j] = T{1} - tj;
+    for (index_t i = 0; i < j; ++i) cj[i] = T{};
+  }
+}
+
+template <typename T>
+void copy_reflectors(NoDeduce<ConstMatrixView<T>> panel, MatrixView<T> v) {
+  HODLRX_REQUIRE(panel.rows == v.rows && panel.cols == v.cols,
+                 "copy_reflectors: shape mismatch");
+  for (index_t j = 0; j < panel.cols; ++j) {
+    T* __restrict__ vj = v.data + j * v.ld;
+    const T* __restrict__ pj = panel.data + j * panel.ld;
+    for (index_t i = 0; i < j && i < panel.rows; ++i) vj[i] = T{};
+    if (j < panel.rows) vj[j] = T{1};
+    for (index_t i = j + 1; i < panel.rows; ++i) vj[i] = pj[i];
+  }
+}
+
+template <typename T>
+void larft_forward(NoDeduce<ConstMatrixView<T>> v, const T* tau,
+                   MatrixView<T> t) {
+  const index_t ib = v.cols;
+  HODLRX_REQUIRE(t.rows >= ib && t.cols >= ib, "larft_forward: t too small");
+  // One Gram GEMM supplies every V(:,0:j)^H v_j column at engine speed.
+  Matrix<T> g(ib, ib);
+  gemm(Op::C, Op::N, T{1}, v, v, T{0}, g.view());
+  // The block-reflector GEMMs read t as a FULL ib x ib operand (possibly
+  // from uninitialized workspace), so every entry must be written: zeros
+  // below the diagonal too.
+  for (index_t j = 0; j < ib; ++j) {
+    for (index_t i = 0; i < j; ++i) t(i, j) = T{};
+    for (index_t i = j + 1; i < ib; ++i) t(i, j) = T{};
+    t(j, j) = tau[j];
+    if (tau[j] == T{}) continue;
+    // t(0:j, j) = -tau_j * T(0:j, 0:j) * G(0:j, j), T upper triangular.
+    for (index_t i = j - 1; i >= 0; --i) {
+      T sum = T{};
+      for (index_t c = i; c < j; ++c) sum += t(i, c) * g(c, j);
+      t(i, j) = -tau[j] * sum;
+    }
+  }
+}
+
+namespace {
+
+/// Shared trailing-window update of both blocked drivers:
+///   geqrf (adjoint=true):  C -= V (T^H (V^H C))   — applies Q_panel^H
+///   thin_q (adjoint=false): C -= V (T   (V^H C))  — applies Q_panel
+/// `parallel_update` routes the flop-carrying final multiply through
+/// gemm_parallel (the stream-mode drivers for few, large problems).
+template <typename T>
+void apply_block_reflector(ConstMatrixView<T> v, ConstMatrixView<T> t,
+                           bool adjoint, bool parallel_update, MatrixView<T> c,
+                           MatrixView<T> w, MatrixView<T> w2) {
+  gemm(Op::C, Op::N, T{1}, v, ConstMatrixView<T>(c), T{0}, w);
+  gemm(adjoint ? Op::C : Op::N, Op::N, T{1}, t, ConstMatrixView<T>(w), T{0},
+       w2);
+  if (parallel_update)
+    gemm_parallel(Op::N, Op::N, T{-1}, v, ConstMatrixView<T>(w2), T{1}, c);
+  else
+    gemm(Op::N, Op::N, T{-1}, v, ConstMatrixView<T>(w2), T{1}, c);
+}
+
+/// Book the non-GEMM remainder of an explicit thin-Q formation (model:
+/// 2 m k^2) under kOther, mirroring add_geqrf_flops so FlopCounter totals
+/// agree between the in-place and strided-batched paths.
+template <typename T>
+void add_thin_q_flops(index_t m, index_t k, std::uint64_t internal) {
+  const std::uint64_t total = (is_complex_v<T> ? 4ull : 1ull) * 2ull *
+                              static_cast<std::uint64_t>(m) *
+                              static_cast<std::uint64_t>(k) *
+                              static_cast<std::uint64_t>(k);
+  if (total > internal)
+    FlopCounter::instance().add(FlopCounter::kOther, total - internal);
+}
+
+template <typename T>
+void geqrf_inplace_impl(MatrixView<T> a, T* tau, bool parallel_update) {
+  const index_t m = a.rows, n = a.cols;
+  const index_t kmax = std::min(m, n);
+  if (kmax == 0) return;
+  const index_t nb = qr_panel_nb();
+  if (kmax <= nb) {
+    geqrf_panel(a, tau);
+    add_geqrf_flops<T>(m, n, 0);
+    return;
+  }
+  Matrix<T> v(m, nb), t(nb, nb), w(nb, n), w2(nb, n);
+  for (index_t k = 0; k < kmax; k += nb) {
+    const index_t ib = std::min(nb, kmax - k);
+    const index_t mr = m - k, nc = n - k - ib;
+    MatrixView<T> panel = a.block(k, k, mr, ib);
+    geqrf_panel(panel, tau + k);
+    if (nc > 0) {
+      MatrixView<T> vk = v.block(0, 0, mr, ib);
+      copy_reflectors<T>(panel, vk);
+      larft_forward<T>(vk, tau + k, t.view());
+      apply_block_reflector<T>(
+          vk, t.block(0, 0, ib, ib), /*adjoint=*/true, parallel_update,
+          a.block(k, k + ib, mr, nc), w.block(0, 0, ib, nc),
+          w2.block(0, 0, ib, nc));
+    }
+  }
+  add_geqrf_flops<T>(m, n, blocked_qr_internal_flops<T>(m, kmax, n, nb));
+}
+
+template <typename T>
+void thin_q_inplace_impl(MatrixView<T> a, const T* tau, bool parallel_update) {
+  const index_t m = a.rows, k = a.cols;
+  HODLRX_REQUIRE(k <= m, "thin_q_inplace: need cols <= rows");
+  if (k == 0) return;
+  const index_t nb = qr_panel_nb();
+  if (k <= nb) {
+    thin_q_panel(a, tau);
+    add_thin_q_flops<T>(m, k, 0);
+    return;
+  }
+  Matrix<T> v(m, nb), t(nb, nb), w(nb, k), w2(nb, k);
+  for (index_t kk = ((k - 1) / nb) * nb; kk >= 0; kk -= nb) {
+    const index_t ib = std::min(nb, k - kk);
+    const index_t mr = m - kk, nc = k - kk - ib;
+    MatrixView<T> panel = a.block(kk, kk, mr, ib);
+    if (nc > 0) {
+      MatrixView<T> vk = v.block(0, 0, mr, ib);
+      copy_reflectors<T>(panel, vk);
+      larft_forward<T>(vk, tau + kk, t.view());
+      apply_block_reflector<T>(
+          vk, t.block(0, 0, ib, ib), /*adjoint=*/false, parallel_update,
+          a.block(kk, kk + ib, mr, nc), w.block(0, 0, ib, nc),
+          w2.block(0, 0, ib, nc));
+    }
+    // The block's own columns: org2r on the panel, zeros above it.
+    thin_q_panel(panel, tau + kk);
+    if (kk > 0)
+      for (index_t j = 0; j < ib; ++j)
+        std::fill_n(a.data + (kk + j) * a.ld, kk, T{});
+  }
+  add_thin_q_flops<T>(m, k, blocked_qr_internal_flops<T>(m, k, k, nb));
+}
+
+}  // namespace
+
+template <typename T>
+void geqrf_inplace(MatrixView<T> a, T* tau) {
+  geqrf_inplace_impl<T>(a, tau, /*parallel_update=*/false);
+}
+
+template <typename T>
+void geqrf_inplace_parallel(MatrixView<T> a, T* tau) {
+  geqrf_inplace_impl<T>(a, tau, /*parallel_update=*/true);
+}
+
+template <typename T>
+void thin_q_inplace(MatrixView<T> a, const T* tau) {
+  thin_q_inplace_impl<T>(a, tau, /*parallel_update=*/false);
+}
+
+template <typename T>
+void thin_q_inplace_parallel(MatrixView<T> a, const T* tau) {
+  thin_q_inplace_impl<T>(a, tau, /*parallel_update=*/true);
+}
 
 template <typename T>
 QRFactors<T> geqrf(ConstMatrixView<T> a) {
   QRFactors<T> qr;
   qr.factors = to_matrix(a);
-  const index_t m = a.rows, n = a.cols;
-  const index_t kmax = std::min(m, n);
-  qr.tau.assign(kmax, T{});
-  MatrixView<T> f = qr.factors;
-  for (index_t k = 0; k < kmax; ++k) {
-    qr.tau[k] = make_householder(f.data + k + k * f.ld, m - k);
-    if (k + 1 < n)
-      apply_householder<T>(f, k, conj_s(qr.tau[k]),
-                           f.block(0, k + 1, m, n - k - 1));
-  }
-  FlopCounter::instance().add(
-      FlopCounter::kOther,
-      (is_complex_v<T> ? 4ull : 1ull) * 2ull * static_cast<std::uint64_t>(m) *
-          static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(kmax));
+  qr.tau.assign(std::min(a.rows, a.cols), T{});
+  geqrf_inplace<T>(qr.factors, qr.tau.data());
   return qr;
 }
 
 template <typename T>
 Matrix<T> thin_q(const QRFactors<T>& qr) {
+  const index_t m = qr.factors.rows();
+  const index_t k = static_cast<index_t>(qr.tau.size());
+  Matrix<T> q = to_matrix(qr.factors.block(0, 0, m, k));
+  thin_q_inplace<T>(q.view(), qr.tau.data());
+  return q;
+}
+
+template <typename T>
+QRFactors<T> geqrf_reference(ConstMatrixView<T> a) {
+  QRFactors<T> qr;
+  qr.factors = to_matrix(a);
+  const index_t m = a.rows, n = a.cols;
+  const index_t kmax = std::min(m, n);
+  qr.tau.assign(kmax, T{});
+  geqrf_panel<T>(qr.factors, qr.tau.data());
+  add_geqrf_flops<T>(m, n, 0);
+  return qr;
+}
+
+template <typename T>
+Matrix<T> thin_q_reference(const QRFactors<T>& qr) {
   const index_t m = qr.factors.rows();
   const index_t k = static_cast<index_t>(qr.tau.size());
   Matrix<T> q(m, k);
@@ -541,8 +771,22 @@ Matrix<T> dense_solve(ConstMatrixView<T> a, NoDeduce<ConstMatrixView<T>> b) {
                                           MatrixView<T>);                   \
   template void trsm_left<T>(Uplo, Diag, NoDeduce<ConstMatrixView<T>>,      \
                              MatrixView<T>);                                \
+  template void geqrf_panel<T>(MatrixView<T>, T*);                          \
+  template void thin_q_panel<T>(MatrixView<T>, const T*);                   \
+  template void copy_reflectors<T>(NoDeduce<ConstMatrixView<T>>,            \
+                                   MatrixView<T>);                          \
+  template void larft_forward<T>(NoDeduce<ConstMatrixView<T>>, const T*,    \
+                                 MatrixView<T>);                            \
+  template void geqrf_inplace<T>(MatrixView<T>, T*);                        \
+  template void geqrf_inplace_parallel<T>(MatrixView<T>, T*);               \
+  template void thin_q_inplace<T>(MatrixView<T>, const T*);                 \
+  template void thin_q_inplace_parallel<T>(MatrixView<T>, const T*);        \
   template QRFactors<T> geqrf<T>(ConstMatrixView<T>);                       \
   template Matrix<T> thin_q<T>(const QRFactors<T>&);                        \
+  template QRFactors<T> geqrf_reference<T>(ConstMatrixView<T>);             \
+  template Matrix<T> thin_q_reference<T>(const QRFactors<T>&);              \
+  template std::uint64_t blocked_qr_internal_flops<T>(index_t, index_t,     \
+                                                      index_t, index_t);    \
   template Matrix<T> r_factor<T>(const QRFactors<T>&);                      \
   template CPQRFactors<T> geqp3<T>(ConstMatrixView<T>, NoDeduce<real_t<T>>,  \
                                    index_t);                                \

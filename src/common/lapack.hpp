@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/blas.hpp"
@@ -78,6 +79,64 @@ struct QRFactors {
   std::vector<T> tau;   ///< min(m, n) Householder scalars
 };
 
+/// Panel width of the blocked Householder drivers (geqrf_inplace,
+/// thin_q_inplace and the strided-batched QR engine). Read once from
+/// HODLRX_QR_NB; default 16.
+index_t qr_panel_nb();
+
+/// Unblocked Householder QR, in place: R in the upper triangle, reflectors
+/// below the diagonal, `tau[0..min(m,n))` scalars. This is the panel kernel
+/// of the blocked drivers and the batched engine; it is also the seed
+/// reference path the benches compare against.
+template <typename T>
+void geqrf_panel(MatrixView<T> a, T* tau);
+
+/// In-place thin Q of an UNBLOCKED panel (LAPACK org2r): `a` holds geqrf
+/// reflectors in all of its `a.cols <= a.rows` columns and is overwritten
+/// with the orthonormal Q columns.
+template <typename T>
+void thin_q_panel(MatrixView<T> a, const T* tau);
+
+/// Copy the unit-lower-trapezoid reflectors of a factored panel into `v`
+/// (same shape) with an explicit unit diagonal and zeros above — the layout
+/// the compact-WY block-reflector GEMMs consume.
+template <typename T>
+void copy_reflectors(NoDeduce<ConstMatrixView<T>> panel, MatrixView<T> v);
+
+/// Forward columnwise compact-WY triangular factor (LAPACK larft): given the
+/// explicit reflectors `v` (from copy_reflectors) and their taus, fill the
+/// upper-triangular `t` (ib x ib, ib = v.cols) so that
+///   H_0 H_1 ... H_{ib-1} = I - V T V^H.
+/// The inner products are batched into one Gram GEMM (G = V^H V) so the
+/// dominant work runs at engine speed instead of as latency-bound dots.
+template <typename T>
+void larft_forward(NoDeduce<ConstMatrixView<T>> v, const T* tau,
+                   MatrixView<T> t);
+
+/// Blocked Householder QR, in place (same output layout as geqrf_panel):
+/// panels of qr_panel_nb() columns are factored unblocked, then the trailing
+/// matrix is updated with the compact-WY block reflector — three GEMMs that
+/// run through the packed engine instead of per-reflector strided loops.
+template <typename T>
+void geqrf_inplace(MatrixView<T> a, T* tau);
+
+/// geqrf_inplace with intra-problem parallelism: the flop-carrying trailing
+/// multiply of every block reflector runs through gemm_parallel. The batched
+/// engine's stream-mode QR for few, large problems (mirrors getrf_parallel).
+template <typename T>
+void geqrf_inplace_parallel(MatrixView<T> a, T* tau);
+
+/// Overwrite `a` (m x k, k <= m, holding geqrf reflectors in ALL of its
+/// columns) with the explicit thin Q, blocked: block reflectors are applied
+/// back-to-front through the packed GEMM engine (LAPACK orgqr).
+template <typename T>
+void thin_q_inplace(MatrixView<T> a, const T* tau);
+
+/// thin_q_inplace with the trailing multiplies through gemm_parallel
+/// (stream-mode thin Q).
+template <typename T>
+void thin_q_inplace_parallel(MatrixView<T> a, const T* tau);
+
 template <typename T>
 QRFactors<T> geqrf(ConstMatrixView<T> a);
 template <typename T>
@@ -92,6 +151,25 @@ QRFactors<T> geqrf(const Matrix<T>& a) {
 /// Explicit thin Q (m x min(m,n)) from geqrf output.
 template <typename T>
 Matrix<T> thin_q(const QRFactors<T>& qr);
+
+/// Flops the blocked QR/thin-Q drivers' internal GEMM calls book under kGemm
+/// on their own (the Gram product of larft_forward plus the three
+/// block-reflector multiplies per panel) — mirrors the panel loops exactly.
+/// `kmax` is the number of reflector columns and `ntotal` the column count
+/// the trailing window is measured against (n for geqrf, min(m,n) for
+/// thin_q). Shared by the single-problem and strided-batched drivers so the
+/// kOther remainder subtraction cannot drift between them.
+template <typename T>
+std::uint64_t blocked_qr_internal_flops(index_t m, index_t kmax,
+                                        index_t ntotal, index_t nb);
+
+/// The seed's unblocked QR + per-reflector thin Q, kept callable so tests
+/// and benches can cross-check the blocked engine against it (the same role
+/// trsm_left_reference plays for the TRSM engine).
+template <typename T>
+QRFactors<T> geqrf_reference(ConstMatrixView<T> a);
+template <typename T>
+Matrix<T> thin_q_reference(const QRFactors<T>& qr);
 
 /// Explicit R factor (min(m,n) x n upper triangular) from geqrf output.
 template <typename T>

@@ -1,9 +1,12 @@
 #include "core/hodlr.hpp"
 
 #include <complex>
+#include <vector>
 
+#include "common/aligned.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "device/device.hpp"
 #include "lowrank/aca.hpp"
 #include "lowrank/recompress.hpp"
 #include "lowrank/rsvd.hpp"
@@ -11,6 +14,51 @@
 namespace hodlrx {
 
 namespace {
+
+/// Size of every node at `level` when the level is UNIFORM (equal sizes,
+/// contiguous index ranges — the layout the strided-batched sweeps need);
+/// -1 otherwise.
+index_t uniform_level_size(const ClusterTree& tree, index_t level) {
+  const index_t begin = ClusterTree::level_begin(level);
+  const index_t count = ClusterTree::nodes_at_level(level);
+  const index_t s = tree.node(begin).size();
+  for (index_t t = 0; t < count; ++t) {
+    const ClusterNode& c = tree.node(begin + t);
+    if (c.size() != s || c.begin != tree.node(begin).begin + t * s) return -1;
+  }
+  return s;
+}
+
+/// RsvdOptions from the build options (the sketch width comes from
+/// max_rank + oversampling; see Compressor::kRsvdBatched).
+RsvdOptions rsvd_options(const BuildOptions& opt) {
+  HODLRX_REQUIRE(opt.max_rank > 0,
+                 "Compressor::kRsvdBatched needs max_rank > 0 (the sketch "
+                 "width); got " << opt.max_rank);
+  RsvdOptions ropt;
+  ropt.rank = opt.max_rank;
+  ropt.oversampling = opt.rsvd_oversampling;
+  ropt.power_iterations = opt.rsvd_power_iterations;
+  ropt.tol = opt.tol;
+  return ropt;
+}
+
+/// Store one uniform-level sweep's factors: pair j's "upper" block
+/// A(I_2j, I_2j+1) row-basis lands on node 2j, its column basis on the
+/// sibling; vice versa for the "lower" sweep.
+template <typename T>
+void store_level_factors(HodlrMatrix<T>& h, index_t begin, index_t q,
+                         std::vector<LowRankFactor<T>>&& upper,
+                         std::vector<LowRankFactor<T>>&& lower) {
+  for (index_t j = 0; j < q; ++j) {
+    const index_t nu = begin + 2 * j;   // rows of the upper block
+    const index_t sib = nu + 1;         // rows of the lower block
+    h.u(nu) = std::move(upper[j].u);
+    h.v(sib) = std::move(upper[j].v);
+    h.u(sib) = std::move(lower[j].u);
+    h.v(nu) = std::move(lower[j].v);
+  }
+}
 
 /// Batched-rsvd construction from a dense view: every uniform tree level is
 /// compressed in TWO strided-batched sweeps (one per sibling side), each
@@ -23,26 +71,13 @@ HodlrMatrix<T> build_from_dense_rsvd(ConstMatrixView<T> a,
                                      const ClusterTree& tree,
                                      const BuildOptions& opt,
                                      HodlrMatrix<T>&& h) {
-  HODLRX_REQUIRE(opt.max_rank > 0,
-                 "Compressor::kRsvdBatched needs max_rank > 0 (the sketch "
-                 "width); got " << opt.max_rank);
-  RsvdOptions ropt;
-  ropt.rank = opt.max_rank;
-  ropt.oversampling = opt.rsvd_oversampling;
-  ropt.power_iterations = opt.rsvd_power_iterations;
-  ropt.tol = opt.tol;
-
+  RsvdOptions ropt = rsvd_options(opt);
   for (index_t level = 1; level <= tree.depth(); ++level) {
     const index_t begin = ClusterTree::level_begin(level);
     const index_t count = ClusterTree::nodes_at_level(level);
     const index_t q = count / 2;  // sibling pairs
-    const index_t s = tree.node(begin).size();
-    bool uniform = true;
-    for (index_t t = 0; t < count && uniform; ++t) {
-      const ClusterNode& c = tree.node(begin + t);
-      uniform = c.size() == s && c.begin == tree.node(begin).begin + t * s;
-    }
-    if (uniform && s > 0) {
+    const index_t s = uniform_level_size(tree, level);
+    if (s > 0) {
       // Sibling pair j occupies rows/cols [2js, (2j+2)s): both the "upper"
       // blocks A(I_2j, I_2j+1) and the "lower" blocks A(I_2j+1, I_2j) are
       // s x s at a constant stride of 2s(ld + 1) — exactly the layout
@@ -55,14 +90,7 @@ HodlrMatrix<T> build_from_dense_rsvd(ConstMatrixView<T> a,
       ropt.seed = opt.seed + 2 * level + 1;
       auto lower = rsvd_strided_batched<T>(a.data + (b0 + s) + b0 * a.ld,
                                            a.ld, stride, s, s, q, ropt);
-      for (index_t j = 0; j < q; ++j) {
-        const index_t nu = begin + 2 * j;   // rows of the upper block
-        const index_t sib = nu + 1;         // rows of the lower block
-        h.u(nu) = std::move(upper[j].u);
-        h.v(sib) = std::move(upper[j].v);
-        h.u(sib) = std::move(lower[j].u);
-        h.v(nu) = std::move(lower[j].v);
-      }
+      store_level_factors<T>(h, begin, q, std::move(upper), std::move(lower));
     } else {
       ropt.seed = opt.seed + 2 * level;
       parallel_for(count, [&](index_t t) {
@@ -84,6 +112,76 @@ HodlrMatrix<T> build_from_dense_rsvd(ConstMatrixView<T> a,
   return std::move(h);
 }
 
+/// Batched-rsvd construction straight from a MatrixGenerator — the
+/// generator-backed path that opens the batched sweep to kernel-defined BIE
+/// problems (paper Tables 3-5) WITHOUT ever forming the dense matrix. Every
+/// uniform level's off-diagonal blocks are materialized tile-by-tile into a
+/// strided "device" workspace shared by the pool (one fill_block per tile,
+/// tiles written in parallel), then the whole side is compressed by the same
+/// batched rsvd sweep the dense path uses. Peak extra memory is ONE level
+/// side — at most (n/2)^2 entries at level 1, a quarter of the dense matrix,
+/// reused (not reallocated) by every deeper level. Non-uniform levels
+/// materialize and compress block-by-block across the pool.
+template <typename T>
+HodlrMatrix<T> build_from_generator_rsvd(const MatrixGenerator<T>& g,
+                                         const ClusterTree& tree,
+                                         const BuildOptions& opt,
+                                         HodlrMatrix<T>&& h) {
+  RsvdOptions ropt = rsvd_options(opt);
+  std::vector<T, AlignedAllocator<T>> ws;
+  DeviceAllocation ws_mem;
+  for (index_t level = 1; level <= tree.depth(); ++level) {
+    const index_t begin = ClusterTree::level_begin(level);
+    const index_t count = ClusterTree::nodes_at_level(level);
+    const index_t q = count / 2;  // sibling pairs
+    const index_t s = uniform_level_size(tree, level);
+    if (s > 0) {
+      const index_t b0 = tree.node(begin).begin;
+      const std::size_t need = static_cast<std::size_t>(q) * s * s;
+      if (ws.size() < need) {
+        ws.resize(need);
+        ws_mem = DeviceAllocation(need * sizeof(T));
+      }
+      // One sweep per sibling side: fill the q tiles of the side in
+      // parallel (an H2D upload in the device model), then compress them in
+      // one batched launch sequence.
+      const auto sweep = [&](bool upper_side) {
+        parallel_for(q, [&](index_t j) {
+          const index_t row0 = b0 + 2 * j * s + (upper_side ? 0 : s);
+          const index_t col0 = b0 + 2 * j * s + (upper_side ? s : 0);
+          g.fill_block(row0, col0,
+                       MatrixView<T>{ws.data() + j * s * s, s, s, s});
+        });
+        DeviceContext::global().record_h2d(need * sizeof(T));
+        ropt.seed = opt.seed + 2 * level + (upper_side ? 0 : 1);
+        return rsvd_strided_batched<T>(ws.data(), s, s * s, s, s, q, ropt);
+      };
+      auto upper = sweep(/*upper_side=*/true);
+      auto lower = sweep(/*upper_side=*/false);
+      store_level_factors<T>(h, begin, q, std::move(upper), std::move(lower));
+    } else {
+      ropt.seed = opt.seed + 2 * level;
+      parallel_for(count, [&](index_t t) {
+        const index_t nu = begin + t;
+        const index_t sib = ClusterTree::sibling(nu);
+        const ClusterNode& rowc = tree.node(nu);
+        const ClusterNode& colc = tree.node(sib);
+        Matrix<T> block(rowc.size(), colc.size());
+        g.fill_block(rowc.begin, colc.begin, block);
+        LowRankFactor<T> f = rsvd<T>(block.view(), ropt);
+        h.u(nu) = std::move(f.u);
+        h.v(sib) = std::move(f.v);
+      });
+    }
+  }
+  parallel_for(tree.num_leaves(), [&](index_t j) {
+    const ClusterNode& c = tree.node(tree.leaf(j));
+    h.leaf_block(j) = Matrix<T>(c.size(), c.size());
+    g.fill_block(c.begin, c.begin, h.leaf_block(j));
+  });
+  return std::move(h);
+}
+
 }  // namespace
 
 template <typename T>
@@ -98,6 +196,9 @@ HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
   h.u_.resize(tree.num_nodes());
   h.v_.resize(tree.num_nodes());
   h.leaf_d_.resize(tree.num_leaves());
+
+  if (opt.compressor == Compressor::kRsvdBatched)
+    return build_from_generator_rsvd<T>(g, tree, opt, std::move(h));
 
   AcaOptions aopt;
   aopt.tol = opt.tol;

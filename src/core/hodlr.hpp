@@ -22,9 +22,14 @@ namespace hodlrx {
 template <typename T>
 class HodlrMatrix {
  public:
-  /// Compress `g` (square, indexed compatibly with `tree`) into HODLR form
-  /// with rook-pivoted ACA per off-diagonal block; blocks are processed in
-  /// parallel. Throws if ACA fails to reach the tolerance within the cap.
+  /// Compress `g` (square, indexed compatibly with `tree`) into HODLR form.
+  /// With the default Compressor::kAca every off-diagonal block runs
+  /// rook-pivoted ACA in parallel (throws if ACA fails to reach the
+  /// tolerance within the cap). With Compressor::kRsvdBatched every uniform
+  /// tree level is materialized tile-by-tile into a strided workspace and
+  /// compressed in one batched randomized-SVD sweep — the full matrix is
+  /// NEVER formed (generator_stats counter-asserts this), so kernel-defined
+  /// BIE problems get the batched device path too (requires max_rank > 0).
   static HodlrMatrix build(const MatrixGenerator<T>& g, const ClusterTree& tree,
                            const BuildOptions& opt = {});
 

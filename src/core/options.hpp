@@ -28,9 +28,13 @@ enum class ExecMode {
 enum class Compressor {
   kAca,          ///< rook-pivoted ACA per block (entry access; the default)
   kRsvdBatched,  ///< batched randomized SVD: every uniform tree level is
-                 ///< swept in one batched launch in which ALL blocks multiply
-                 ///< ONE shared Gaussian test matrix (the stride-0 pack-once
-                 ///< fast path). Dense input only (build_from_dense);
+                 ///< swept in batched launches — ALL blocks multiply ONE
+                 ///< shared Gaussian test matrix (the stride-0 pack-once
+                 ///< fast path) and the QR/power-iteration tails run through
+                 ///< the panel-synchronized batched QR engine. Works on a
+                 ///< dense view (build_from_dense, zero-copy strided blocks)
+                 ///< or any MatrixGenerator (build, blocks materialized
+                 ///< tile-by-tile; the dense matrix is never formed);
                  ///< requires max_rank > 0 (the sketch width).
 };
 

@@ -1,0 +1,23 @@
+#include "lowrank/generator.hpp"
+
+#include <atomic>
+
+namespace hodlrx::generator_stats {
+
+namespace {
+std::atomic<std::uint64_t> g_full{0};
+}  // namespace
+
+std::uint64_t full_materializations() {
+  return g_full.load(std::memory_order_relaxed);
+}
+
+void reset() { g_full.store(0, std::memory_order_relaxed); }
+
+namespace detail {
+void record_full_materialization() {
+  g_full.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+}  // namespace hodlrx::generator_stats

@@ -16,28 +16,15 @@ index_t sketch_width(index_t m, index_t n, const RsvdOptions& opt) {
   return std::min({m, n, opt.rank + opt.oversampling});
 }
 
-/// Finish an rsvd given the range sketch Y = A * G: orthonormalize,
-/// optionally power-iterate, then solve the small problem B = Q^H A and
-/// truncate. Shared by the single-block and the batched entry points.
+/// Final step shared by the single-block and batched paths: given the
+/// orthonormal range basis Q (m x l) and the small problem B = Q^H A
+/// (l x n), SVD(B) = W S V^H, truncate per options and return U = Q W_k S_k,
+/// V = V_k.
 template <typename T>
-LowRankFactor<T> rsvd_finish(ConstMatrixView<T> a, Matrix<T> y,
-                             const RsvdOptions& opt) {
+LowRankFactor<T> rsvd_truncate(ConstMatrixView<T> q, ConstMatrixView<T> b,
+                               const RsvdOptions& opt) {
   using R = real_t<T>;
-  const index_t m = a.rows, n = a.cols;
-  const index_t l = y.cols();
-  Matrix<T> q = thin_q(geqrf<T>(y));
-  for (int it = 0; it < opt.power_iterations; ++it) {
-    Matrix<T> z(n, q.cols());
-    gemm(Op::C, Op::N, T{1}, a, q, T{0}, z.view());
-    Matrix<T> qz = thin_q(geqrf<T>(z));
-    Matrix<T> y2(m, qz.cols());
-    gemm(Op::N, Op::N, T{1}, a, qz, T{0}, y2.view());
-    q = thin_q(geqrf<T>(y2));
-  }
-
-  // Small problem: B = Q^H A (l x n), SVD(B) = W S V^H, U = Q W.
-  Matrix<T> b(q.cols(), n);
-  gemm(Op::C, Op::N, T{1}, ConstMatrixView<T>(q), a, T{0}, b.view());
+  const index_t m = q.rows, n = b.cols, l = q.cols;
   SVDResult<T> svd = jacobi_svd<T>(b);
 
   index_t k = std::min<index_t>(opt.rank > 0 ? opt.rank : l,
@@ -53,15 +40,34 @@ LowRankFactor<T> rsvd_finish(ConstMatrixView<T> a, Matrix<T> y,
   out.u = Matrix<T>(m, k);
   out.v = Matrix<T>(n, k);
   if (k > 0) {
-    // U = Q * W_k, scaled by the singular values; V = V_k.
     Matrix<T> wk = to_matrix(svd.u.block(0, 0, svd.u.rows(), k));
     for (index_t j = 0; j < k; ++j)
       scale_inplace(T{svd.s[j]}, wk.block(0, j, wk.rows(), 1));
-    gemm(Op::N, Op::N, T{1}, ConstMatrixView<T>(q), ConstMatrixView<T>(wk),
-         T{0}, out.u.view());
+    gemm(Op::N, Op::N, T{1}, q, ConstMatrixView<T>(wk), T{0}, out.u.view());
     copy(svd.v.block(0, 0, n, k), out.v.block(0, 0, n, k));
   }
   return out;
+}
+
+/// Finish a single-block rsvd given the range sketch Y = A * G:
+/// orthonormalize, optionally power-iterate, then solve the small problem
+/// B = Q^H A and truncate.
+template <typename T>
+LowRankFactor<T> rsvd_finish(ConstMatrixView<T> a, Matrix<T> y,
+                             const RsvdOptions& opt) {
+  const index_t m = a.rows, n = a.cols;
+  Matrix<T> q = thin_q(geqrf<T>(y));
+  for (int it = 0; it < opt.power_iterations; ++it) {
+    Matrix<T> z(n, q.cols());
+    gemm(Op::C, Op::N, T{1}, a, q, T{0}, z.view());
+    Matrix<T> qz = thin_q(geqrf<T>(z));
+    Matrix<T> y2(m, qz.cols());
+    gemm(Op::N, Op::N, T{1}, a, qz, T{0}, y2.view());
+    q = thin_q(geqrf<T>(y2));
+  }
+  Matrix<T> b(q.cols(), n);
+  gemm(Op::C, Op::N, T{1}, ConstMatrixView<T>(q), a, T{0}, b.view());
+  return rsvd_truncate<T>(q, b, opt);
 }
 
 }  // namespace
@@ -108,12 +114,41 @@ std::vector<LowRankFactor<T>> rsvd_strided_batched(const T* a, index_t lda,
   gemm_strided_batched<T>(Op::N, Op::N, m, l, n, T{1}, a, lda, stride_a,
                           g.data(), n, /*stride_b=*/0, T{0}, y.data(), m,
                           m * l, batch);
-  // Per-block tails are independent: orthonormalize, power-iterate, small
-  // SVD — one block per pool slot.
+  // The tails run on the device model too: EVERY stage — orthonormalization,
+  // power iterations, and the small problem B = Q^H A — is a batched launch
+  // (panel-synchronized batched QR + strided GEMM), not a per-block pool
+  // task. Only the tiny per-block SVD/truncation stays task-parallel.
+  std::vector<T> tau(static_cast<std::size_t>(l) * batch);
+  const auto orthonormalize = [&](Matrix<T>& x, index_t rows) {
+    geqrf_strided_batched<T>(x.data(), rows, rows * l, rows, l, tau.data(), l,
+                             batch, BatchPolicy::kForceBatched);
+    thin_q_strided_batched<T>(x.data(), rows, rows * l, rows, l, tau.data(),
+                              l, batch, BatchPolicy::kForceBatched);
+  };
+  orthonormalize(y, m);
+  if (opt.power_iterations > 0) {
+    Matrix<T> z(n, l * batch);
+    for (int it = 0; it < opt.power_iterations; ++it) {
+      // Z_i = A_i^H Q_i, re-orthonormalize; Y_i = A_i Q(Z_i), orthonormalize.
+      gemm_strided_batched<T>(Op::C, Op::N, n, l, m, T{1}, a, lda, stride_a,
+                              y.data(), m, m * l, T{0}, z.data(), n, n * l,
+                              batch);
+      orthonormalize(z, n);
+      gemm_strided_batched<T>(Op::N, Op::N, m, l, n, T{1}, a, lda, stride_a,
+                              z.data(), n, n * l, T{0}, y.data(), m, m * l,
+                              batch);
+      orthonormalize(y, m);
+    }
+  }
+  // Small problems B_i = Q_i^H A_i in one strided launch, then the per-block
+  // SVDs and truncations across the pool.
+  Matrix<T> b(l, n * batch);
+  gemm_strided_batched<T>(Op::C, Op::N, l, n, m, T{1}, y.data(), m, m * l, a,
+                          lda, stride_a, T{0}, b.data(), l, l * n, batch);
   parallel_for(batch, [&](index_t i) {
-    ConstMatrixView<T> ai(a + i * stride_a, m, n, lda);
-    out[static_cast<std::size_t>(i)] =
-        rsvd_finish<T>(ai, to_matrix(y.block(0, i * l, m, l)), opt);
+    out[static_cast<std::size_t>(i)] = rsvd_truncate<T>(
+        ConstMatrixView<T>(y.data() + i * m * l, m, l, m),
+        ConstMatrixView<T>(b.data() + i * l * n, l, n, l), opt);
   });
   return out;
 }

@@ -29,10 +29,14 @@ LowRankFactor<T> rsvd(ConstMatrixView<T> a, const RsvdOptions& opt);
 /// production caller of the batch layer's stride-0 shared-operand fast path:
 /// ALL blocks are sketched against ONE shared Gaussian test matrix G in a
 /// single `gemm_strided_batched` launch (G passed with stride 0, so it is
-/// packed once per launch and reused by every block), then the per-block
-/// tails (orthonormalization, power iterations, small SVD) run across the
-/// pool. Used by HodlrMatrix::build_from_dense to compress a uniform tree
-/// level in one sweep (paper Sec. III-C / ROADMAP item).
+/// packed once per launch and reused by every block). The tails are batched
+/// too: orthonormalization and the power iterations run through
+/// geqrf_strided_batched / thin_q_strided_batched (panel-synchronized
+/// batched QR) and strided GEMM launches, and the small problems B = Q^H A
+/// form in one more strided launch — only the tiny per-block SVDs remain
+/// task-parallel. Used by HodlrMatrix::build (generator input, tile-by-tile
+/// materialization) and build_from_dense to compress a uniform tree level in
+/// one sweep (paper Sec. III-C / ROADMAP items).
 template <typename T>
 std::vector<LowRankFactor<T>> rsvd_strided_batched(const T* a, index_t lda,
                                                    index_t stride_a, index_t m,

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "batched/batched_blas.hpp"
 #include "common/gemm_kernel.hpp"
 #include "core/hodlr.hpp"
 #include "lowrank/aca.hpp"
@@ -133,12 +134,20 @@ TYPED_TEST(LowrankTyped, RsvdStridedBatchedSharedSketchPackOnce) {
   opt.tol = 1e-10;
   opt.power_iterations = 2;
   gemm_stats::reset();
+  qr_stats::reset();
   auto factors =
       rsvd_strided_batched<T>(big.data(), m, m * n, m, n, batch, opt);
   // The WHOLE sweep sketches against ONE shared Gaussian matrix: exactly one
   // full pack for the launch, zero per-problem packs of the shared operand.
   EXPECT_EQ(gemm_stats::shared_packs(), 1u)
       << "batched rsvd must hit the stride-0 pack-once fast path";
+  // And the QR tail is batched, not per-block pool tasks: one orthonormalize
+  // after the sketch plus two per power iteration, each one geqrf sweep and
+  // one thin-Q sweep.
+  const auto sweeps = static_cast<std::uint64_t>(1 + 2 * opt.power_iterations);
+  EXPECT_EQ(qr_stats::geqrf_batched_sweeps(), sweeps)
+      << "the rsvd QR tail must issue batched geqrf launches";
+  EXPECT_EQ(qr_stats::thin_q_batched_sweeps(), sweeps);
   ASSERT_EQ(factors.size(), static_cast<std::size_t>(batch));
   for (index_t i = 0; i < batch; ++i) {
     EXPECT_EQ(factors[i].rank(), r) << "problem " << i;

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "batched/batched_blas.hpp"
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
+#include "device/device.hpp"
+#include "test_util.hpp"
+
+/// Property tests of the batched QR engine: the blocked in-place drivers
+/// (geqrf_inplace / thin_q_inplace) and the panel-synchronized strided-
+/// batched drivers must agree with the seed's unblocked reference QR over
+/// randomized shapes — tall, square, wide, one column, rank-deficient and
+/// exactly zero blocks — for all four scalar types, and every produced Q
+/// must be orthonormal. Also asserts the engine's launch-shape invariants:
+/// batched sweeps are counted, and the persistent pool never creates
+/// threads mid-sweep.
+
+namespace hodlrx {
+namespace {
+
+using test::rel_error;
+
+template <typename T>
+real_t<T> tol() {
+  return std::is_same_v<real_t<T>, float> ? real_t<T>(5e-4) : real_t<T>(1e-11);
+}
+
+/// A batch of deterministic test blocks covering the degenerate structures
+/// the compressor feeds the engine: dense random, rank-deficient (duplicated
+/// columns), and exactly zero. For the rank-deficient blocks the exhausted
+/// trailing columns are roundoff noise, so the reflector directions (and
+/// with them the signs of R) legitimately depend on the summation order —
+/// only reconstruction and orthonormality are asserted for those; R-equality
+/// against the reference is asserted where it is well-posed (full-rank and
+/// exactly-zero blocks).
+inline bool r_comparable(index_t block_index) { return block_index % 4 != 2; }
+template <typename T>
+std::vector<Matrix<T>> make_blocks(index_t m, index_t n, index_t batch,
+                                   std::uint64_t seed) {
+  std::vector<Matrix<T>> blocks;
+  for (index_t i = 0; i < batch; ++i) {
+    if (i % 4 == 3) {
+      blocks.emplace_back(m, n);  // zero block
+    } else {
+      Matrix<T> a = random_matrix<T>(m, n, seed + i);
+      if (i % 4 == 2 && n >= 2) {
+        // Rank-deficient: every odd column duplicates its left neighbor.
+        for (index_t j = 1; j < n; j += 2)
+          copy<T>(a.view().block(0, j - 1, m, 1), a.view().block(0, j, m, 1));
+      }
+      blocks.push_back(std::move(a));
+    }
+  }
+  return blocks;
+}
+
+/// ||Q^H Q - I|| relative deviation from orthonormality.
+template <typename T>
+real_t<T> ortho_error(ConstMatrixView<T> q) {
+  Matrix<T> g(q.cols, q.cols);
+  gemm<T>(Op::C, Op::N, T{1}, q, q, T{0}, g.view());
+  return rel_error<T>(g.view(), Matrix<T>::identity(q.cols).view());
+}
+
+/// Upper-triangular R (k x n) out of a compact factor array.
+template <typename T>
+Matrix<T> extract_r(ConstMatrixView<T> f) {
+  const index_t k = std::min(f.rows, f.cols);
+  Matrix<T> r(k, f.cols);
+  for (index_t j = 0; j < f.cols; ++j)
+    for (index_t i = 0; i <= std::min(j, k - 1); ++i) r(i, j) = f(i, j);
+  return r;
+}
+
+template <typename T>
+class QrBatchedTyped : public ::testing::Test {};
+using QrTypes = ::testing::Types<float, double, std::complex<float>,
+                                 std::complex<double>>;
+TYPED_TEST_SUITE(QrBatchedTyped, QrTypes);
+
+/// Blocked single-problem drivers vs the unblocked reference, across shapes
+/// that straddle the panel width (m < n, m = n, tall, one column).
+TYPED_TEST(QrBatchedTyped, InplaceBlockedMatchesReference) {
+  using T = TypeParam;
+  const index_t shapes[][2] = {{96, 33}, {48, 48}, {24, 40}, {50, 1},
+                               {1, 7},   {17, 16}, {5, 5}};
+  std::uint64_t seed = 100;
+  for (auto& [m, n] : shapes) {
+    std::vector<Matrix<T>> blocks = make_blocks<T>(m, n, 4, seed += 10);
+    for (index_t bi = 0; bi < static_cast<index_t>(blocks.size()); ++bi) {
+      const Matrix<T>& a = blocks[bi];
+      QRFactors<T> ref = geqrf_reference<T>(a.view());
+      Matrix<T> f = to_matrix(a.view());
+      std::vector<T> tau(std::min(m, n));
+      geqrf_inplace<T>(f.view(), tau.data());
+      if (r_comparable(bi))
+        EXPECT_LE(rel_error<T>(extract_r<T>(f.view()).view(),
+                               extract_r<T>(ref.factors.view()).view()),
+                  tol<T>())
+            << m << "x" << n;
+      // Q from the blocked path reproduces the block and is orthonormal.
+      const index_t k = std::min(m, n);
+      Matrix<T> q = to_matrix(f.view().block(0, 0, m, k));
+      thin_q_inplace<T>(q.view(), tau.data());
+      EXPECT_LE(ortho_error<T>(q.view()), tol<T>()) << m << "x" << n;
+      Matrix<T> rec(m, n);
+      gemm<T>(Op::N, Op::N, T{1}, q, extract_r<T>(f.view()), T{0},
+              rec.view());
+      EXPECT_LE(rel_error<T>(rec.view(), a.view()), tol<T>())
+          << m << "x" << n;
+      // And the blocked thin Q agrees with the reference per-reflector one.
+      if (r_comparable(bi))
+        EXPECT_LE(rel_error<T>(q.view(), thin_q_reference<T>(ref).view()),
+                  tol<T>())
+            << m << "x" << n;
+    }
+  }
+}
+
+/// The panel-synchronized strided-batched driver must match per-block
+/// reference geqrf to tolerance on every problem of a mixed batch, and the
+/// batched thin Q must be orthonormal and reconstruct each block.
+TYPED_TEST(QrBatchedTyped, StridedBatchedMatchesPerBlockReference) {
+  using T = TypeParam;
+  const index_t shapes[][2] = {{64, 24}, {32, 32}, {16, 28}, {40, 1},
+                               {33, 17}};
+  std::uint64_t seed = 4000;
+  for (auto& [m, n] : shapes) {
+    const index_t k = std::min(m, n);
+    const index_t batch = 9, stride = m * n + 7;  // padded, non-contiguous
+    std::vector<Matrix<T>> blocks = make_blocks<T>(m, n, batch, seed += 50);
+    std::vector<T> buf(static_cast<std::size_t>(stride) * batch, T{});
+    for (index_t i = 0; i < batch; ++i)
+      copy<T>(blocks[i].view(), MatrixView<T>{buf.data() + i * stride, m, n,
+                                              m});
+    std::vector<T> tau(static_cast<std::size_t>(k) * batch, T{});
+    qr_stats::reset();
+    geqrf_strided_batched<T>(buf.data(), m, stride, m, n, tau.data(), k,
+                             batch, BatchPolicy::kForceBatched);
+    EXPECT_EQ(qr_stats::geqrf_batched_sweeps(), 1u);
+    EXPECT_GE(qr_stats::panel_launches(), 1u);
+    for (index_t i = 0; i < batch; ++i) {
+      if (!r_comparable(i)) continue;
+      ConstMatrixView<T> fi(buf.data() + i * stride, m, n, m);
+      QRFactors<T> ref = geqrf_reference<T>(blocks[i].view());
+      EXPECT_LE(rel_error<T>(extract_r<T>(fi).view(),
+                             extract_r<T>(ref.factors.view()).view()),
+                tol<T>())
+          << "problem " << i << " of " << m << "x" << n;
+    }
+    // Keep R, then orthonormalize the batch in place.
+    std::vector<Matrix<T>> r;
+    for (index_t i = 0; i < batch; ++i)
+      r.push_back(extract_r<T>(
+          ConstMatrixView<T>(buf.data() + i * stride, m, n, m)));
+    thin_q_strided_batched<T>(buf.data(), m, stride, m, n, tau.data(), k,
+                              batch, BatchPolicy::kForceBatched);
+    EXPECT_EQ(qr_stats::thin_q_batched_sweeps(), 1u);
+    for (index_t i = 0; i < batch; ++i) {
+      ConstMatrixView<T> qi(buf.data() + i * stride, m, k, m);
+      EXPECT_LE(ortho_error<T>(qi), tol<T>()) << "problem " << i;
+      Matrix<T> rec(m, n);
+      gemm<T>(Op::N, Op::N, T{1}, qi, ConstMatrixView<T>(r[i]), T{0},
+              rec.view());
+      EXPECT_LE(rel_error<T>(rec.view(), blocks[i].view()), tol<T>())
+          << "problem " << i << " of " << m << "x" << n;
+    }
+  }
+}
+
+/// Stream mode (sequential blocked problems) and batched mode must produce
+/// the same factors.
+TYPED_TEST(QrBatchedTyped, StreamModeAgreesWithBatched) {
+  using T = TypeParam;
+  const index_t m = 72, n = 40, k = 40, batch = 3;
+  std::vector<Matrix<T>> blocks;  // full-rank only: Q comparison is exact
+  for (index_t i = 0; i < batch; ++i)
+    blocks.push_back(random_matrix<T>(m, n, 9000 + i));
+  std::vector<T> b1(static_cast<std::size_t>(m) * n * batch);
+  std::vector<T> b2(b1.size());
+  for (index_t i = 0; i < batch; ++i) {
+    copy<T>(blocks[i].view(), MatrixView<T>{b1.data() + i * m * n, m, n, m});
+    copy<T>(blocks[i].view(), MatrixView<T>{b2.data() + i * m * n, m, n, m});
+  }
+  std::vector<T> tau1(static_cast<std::size_t>(k) * batch),
+      tau2(static_cast<std::size_t>(k) * batch);
+  geqrf_strided_batched<T>(b1.data(), m, m * n, m, n, tau1.data(), k, batch,
+                           BatchPolicy::kForceBatched);
+  geqrf_strided_batched<T>(b2.data(), m, m * n, m, n, tau2.data(), k, batch,
+                           BatchPolicy::kForceStream);
+  thin_q_strided_batched<T>(b1.data(), m, m * n, m, n, tau1.data(), k, batch,
+                            BatchPolicy::kForceBatched);
+  thin_q_strided_batched<T>(b2.data(), m, m * n, m, n, tau2.data(), k, batch,
+                            BatchPolicy::kForceStream);
+  for (index_t i = 0; i < batch; ++i)
+    EXPECT_LE(rel_error<T>(ConstMatrixView<T>(b1.data() + i * m * n, m, k, m),
+                           ConstMatrixView<T>(b2.data() + i * m * n, m, k,
+                                              m)),
+              tol<T>())
+        << "problem " << i;
+}
+
+TEST(QrBatched, DegenerateShapesAreNoOps) {
+  std::vector<double> tau(4);
+  geqrf_strided_batched<double>(nullptr, 1, 0, 0, 4, tau.data(), 4, 3);
+  geqrf_strided_batched<double>(nullptr, 1, 0, 5, 0, tau.data(), 1, 3);
+  thin_q_strided_batched<double>(nullptr, 1, 0, 0, 4, tau.data(), 4, 3);
+  std::vector<double> a(12);
+  geqrf_strided_batched<double>(a.data(), 4, 12, 4, 3, tau.data(), 3, 0);
+  EXPECT_THROW(geqrf_strided_batched<double>(a.data(), 2, 12, 4, 3,
+                                             tau.data(), 3, 1),
+               Error);  // lda < m
+}
+
+/// The batched sweep must issue device launches (the "everything is a
+/// batched kernel" contract) and must NOT create pool threads mid-sweep —
+/// the PR 2 pool invariant extended to the QR engine.
+TEST(QrBatched, SweepLaunchesBatchedKernelsWithoutThreadChurn) {
+  ThreadPool& pool = ThreadPool::instance();
+  const index_t m = 128, n = 24, batch = 32;
+  std::vector<double> buf(static_cast<std::size_t>(m) * n * batch);
+  for (index_t i = 0; i < batch; ++i) {
+    Matrix<double> a = random_matrix<double>(m, n, 77 + i);
+    copy<double>(a.view(), MatrixView<double>{buf.data() + i * m * n, m, n,
+                                              m});
+  }
+  std::vector<double> tau(static_cast<std::size_t>(n) * batch);
+  const std::uint64_t created = pool.threads_created();
+  const std::uint64_t launches0 = DeviceContext::global().launches();
+  geqrf_strided_batched<double>(buf.data(), m, m * n, m, n, tau.data(), n,
+                                batch, BatchPolicy::kForceBatched);
+  thin_q_strided_batched<double>(buf.data(), m, m * n, m, n, tau.data(), n,
+                                 batch, BatchPolicy::kForceBatched);
+  EXPECT_GT(DeviceContext::global().launches(), launches0 + 2)
+      << "panel + trailing updates must be recorded as batched launches";
+  EXPECT_EQ(pool.threads_created(), created)
+      << "a batched-QR sweep must not create threads";
+}
+
+}  // namespace
+}  // namespace hodlrx
