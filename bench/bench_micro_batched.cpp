@@ -11,9 +11,12 @@
 /// path) at the compression sweep's canonical shape.
 ///
 /// Flags: --repeats N (default 3), --max-n N (cap problem sizes),
-/// --qr-only (run ONLY the QR section; pins the pool to one thread unless
-/// HODLRX_NUM_THREADS is set, so the recorded speedup is the single-thread
-/// algorithmic win, not parallelism).
+/// --qr-only / --svd-only (run ONLY the QR / SVD section; either pins the
+/// pool to one thread unless HODLRX_NUM_THREADS is set, so the recorded
+/// speedup is the single-thread algorithmic win, not parallelism). The SVD
+/// section emits BENCH_svd_batched.json: the sweep-synchronized batched
+/// Jacobi truncation tail against the per-block serial tail (the PR 3 rsvd
+/// truncation path) at the compression sweep's canonical shape.
 
 #include <cstdlib>
 
@@ -22,6 +25,7 @@
 #include "batched/batched_blas.hpp"
 #include "common/parallel.hpp"
 #include "common/trsm_kernel.hpp"
+#include "lowrank/lowrank.hpp"
 
 using namespace hodlrx;
 
@@ -224,33 +228,162 @@ void bench_qr(index_t batch, index_t m, index_t n, int repeats,
   out.end_record();
 }
 
+/// Sink keeping bench results alive across the timed lambdas.
+volatile double g_sink = 0.0;
+
+/// The batched SVD/truncation tail vs the per-block serial tail, at the
+/// compression sweep's canonical shape: `batch` small problems B_i = Q_i^H
+/// A_i of l x n (wide: l = sketch width) plus the orthonormal range bases
+/// Q_i (m x l) the truncated factors multiply. Three contenders, all
+/// producing the truncated factors U_i = Q_i W_ik S_ik, V_i = Uh_ik:
+///   - svd_tail_reference_loop: per-block seed Jacobi (scalar pair dot
+///     products) + per-block truncation gemm — what rsvd_truncate ran
+///     before the batched engine existed;
+///   - svd_tail_blocked_loop: per-block blocked serial driver (one Gram
+///     GEMM per sweep) + per-block gemm;
+///   - svd_tail_batched: sweep-synchronized jacobi_svd_strided_batched on
+///     the transposed problems + ONE strided truncation-GEMM launch (the
+///     rsvd_strided_batched tail).
+void bench_svd(index_t batch, index_t l, index_t n, index_t m, int repeats,
+               bench::JsonArrayWriter& out) {
+  const double tol = 1e-10;
+  // The B blocks (l x n wide) and their tall transposes Bh = B^H; in the
+  // real sweep Bh comes straight out of a strided GEMM, so forming it here
+  // is setup, not timed work.
+  Matrix<double> b0(l, n * batch);
+  Matrix<double> bh0(n, l * batch);
+  for (index_t i = 0; i < batch; ++i) {
+    Matrix<double> bi = random_matrix<double>(l, n, 4200 + i);
+    copy<double>(bi.view(), b0.view().block(0, i * n, l, n));
+    copy<double>(transpose(bi.view(), /*conjugate=*/true).view(),
+                 bh0.view().block(0, i * l, n, l));
+  }
+  // Orthonormal bases Q_i (m x l).
+  Matrix<double> q = random_matrix<double>(m, l * batch, 4299);
+  {
+    std::vector<double> tau(static_cast<std::size_t>(l) * batch);
+    geqrf_strided_batched<double>(q.data(), m, m * l, m, l, tau.data(), l,
+                                  batch);
+    thin_q_strided_batched<double>(q.data(), m, m * l, m, l, tau.data(), l,
+                                   batch);
+  }
+  // Nominal flop count: one Jacobi sweep's rotations plus the truncation
+  // product (the GF/s column is for trend-tracking; the speedup is exact).
+  const double work_flops = static_cast<double>(batch) *
+                            (6.0 * n * l * l + 2.0 * m * l * l);
+
+  const auto serial_tail = [&](auto svd_fn) {
+    for (index_t i = 0; i < batch; ++i) {
+      SVDResult<double> svd =
+          svd_fn(ConstMatrixView<double>(b0.data() + i * l * n, l, n, l));
+      const index_t k = truncate_rank<double>(
+          svd.s.data(), static_cast<index_t>(svd.s.size()), -1, tol);
+      Matrix<double> wk = to_matrix(svd.u.block(0, 0, svd.u.rows(), k));
+      for (index_t j = 0; j < k; ++j)
+        scale_inplace(svd.s[j], wk.block(0, j, wk.rows(), 1));
+      Matrix<double> u(m, k);
+      if (k > 0)
+        gemm<double>(Op::N, Op::N, 1.0,
+                     ConstMatrixView<double>(q.data() + i * m * l, m, l, m),
+                     ConstMatrixView<double>(wk), 0.0, u.view());
+      g_sink = g_sink + (k > 0 ? u(0, 0) : 0.0);
+    }
+  };
+  const double t_ref = time_best(repeats, [&] {
+    serial_tail([](ConstMatrixView<double> b) {
+      return jacobi_svd_reference<double>(b);
+    });
+  });
+  emit(out, "svd_tail_reference_loop", batch, l, t_ref, work_flops);
+  const double t_blocked = time_best(repeats, [&] {
+    serial_tail(
+        [](ConstMatrixView<double> b) { return jacobi_svd<double>(b); });
+  });
+  emit(out, "svd_tail_blocked_loop", batch, l, t_blocked, work_flops);
+
+  Matrix<double> bh(n, l * batch);  // work copy: the batched SVD is in-place
+  auto restore = [&] { copy<double>(bh0.view(), bh.view()); };
+  const double t_batched = time_best_with_setup(repeats, restore, [&] {
+    std::vector<double> sig(static_cast<std::size_t>(l) * batch);
+    Matrix<double> w(l, l * batch);
+    jacobi_svd_strided_batched<double>(bh.data(), n, n * l, n, l, sig.data(),
+                                       l, w.data(), l, l * l, batch,
+                                       BatchPolicy::kForceBatched);
+    std::vector<index_t> ks(static_cast<std::size_t>(batch));
+    for (index_t i = 0; i < batch; ++i)
+      ks[static_cast<std::size_t>(i)] =
+          truncate_rank<double>(sig.data() + i * l, l, -1, tol);
+    parallel_for_static(batch, [&](index_t i) {
+      for (index_t j = 0; j < ks[static_cast<std::size_t>(i)]; ++j)
+        scale_inplace(sig[static_cast<std::size_t>(i * l + j)],
+                      MatrixView<double>{w.data() + i * l * l + j * l, l, 1,
+                                         l});
+    });
+    Matrix<double> uf(m, l * batch);
+    gemm_strided_batched<double>(Op::N, Op::N, m, l, l, 1.0, q.data(), m,
+                                 m * l, w.data(), l, l * l, 0.0, uf.data(),
+                                 m, m * l, batch);
+    g_sink = g_sink + uf(0, 0);
+  });
+  emit(out, "svd_tail_batched", batch, l, t_batched, work_flops);
+
+  std::printf("%-28s batch=%5lld l=%4lld  %10.2fx vs reference "
+              "(blocked loop %.2fx) on %d threads\n",
+              "svd_tail_speedup", static_cast<long long>(batch),
+              static_cast<long long>(l), t_ref / t_batched, t_ref / t_blocked,
+              max_threads());
+  out.begin_record();
+  out.field("case", "svd_tail_speedup");
+  out.field("batch", batch);
+  out.field("l", l);
+  out.field("n", n);
+  out.field("m", m);
+  out.field("threads", static_cast<index_t>(max_threads()));
+  out.field("speedup_batched_vs_reference", t_ref / t_batched);
+  out.field("speedup_blocked_vs_reference", t_ref / t_blocked);
+  out.end_record();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --qr-only runs just the QR section; it pins the pool to ONE thread
-  // (unless the caller overrides) BEFORE first pool use, so the emitted
-  // speedup isolates the engine's algorithmic win from parallelism.
-  bool qr_only = false;
+  // --qr-only / --svd-only run just that section; either pins the pool to
+  // ONE thread (unless the caller overrides) BEFORE first pool use, so the
+  // emitted speedup isolates the engine's algorithmic win from parallelism.
+  bool qr_only = false, svd_only = false;
   std::vector<char*> rest;
   for (int i = 0; i < argc; ++i) {
     if (i > 0 && !std::strcmp(argv[i], "--qr-only"))
       qr_only = true;
+    else if (i > 0 && !std::strcmp(argv[i], "--svd-only"))
+      svd_only = true;
     else
       rest.push_back(argv[i]);
   }
-  if (qr_only) setenv("HODLRX_NUM_THREADS", "1", /*overwrite=*/0);
+  if (qr_only || svd_only) setenv("HODLRX_NUM_THREADS", "1", /*overwrite=*/0);
   bench::Args args = bench::Args::parse(static_cast<int>(rest.size()),
                                         rest.data());
-  {
+  // Both flags together mean "run both engine sections, skip the rest".
+  if (!svd_only || qr_only) {
     bench::JsonArrayWriter qr_out("BENCH_qr_batched.json");
     std::printf("== batched QR engine vs per-block tail (%d threads) ==\n",
                 max_threads());
     // The acceptance shape of the compression sweep: 64 sketches of 256x32.
     bench_qr(64, 256, 32, args.repeats, qr_out);
     bench_qr(256, 128, 16, args.repeats, qr_out);
+    std::printf("wrote BENCH_qr_batched.json\n");
   }
-  std::printf("wrote BENCH_qr_batched.json\n");
-  if (qr_only) return 0;
+  if (!qr_only || svd_only) {
+    bench::JsonArrayWriter svd_out("BENCH_svd_batched.json");
+    std::printf("== batched SVD engine vs per-block tail (%d threads) ==\n",
+                max_threads());
+    // The truncation tail of the acceptance shape: 64 small problems of
+    // 32x256 plus their 256x32 range bases.
+    bench_svd(64, 32, 256, 256, args.repeats, svd_out);
+    bench_svd(256, 16, 128, 128, args.repeats, svd_out);
+    std::printf("wrote BENCH_svd_batched.json\n");
+  }
+  if (qr_only || svd_only) return 0;
   index_t small = 24, big = 512, lu_s = 64;
   if (args.max_n > 0) {
     big = std::min(big, args.max_n);

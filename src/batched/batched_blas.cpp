@@ -417,6 +417,117 @@ void thin_q_strided_batched(T* a, index_t lda, index_t stride_a, index_t m,
   add_batched_qr_flops<T>(m, kq, kq, nb, batch);
 }
 
+template <typename T>
+SvdBatchInfo jacobi_svd_strided_batched(T* a, index_t lda, index_t stride_a,
+                                        index_t m, index_t n, real_t<T>* s,
+                                        index_t stride_s, T* v, index_t ldv,
+                                        index_t stride_v, index_t batch,
+                                        BatchPolicy policy) {
+  using R = real_t<T>;
+  SvdBatchInfo info;
+  if (batch == 0 || n == 0) return info;
+  HODLRX_REQUIRE(n <= m && lda >= m && ldv >= n && stride_s >= n &&
+                     (batch == 1 || (stride_a > 0 && stride_v > 0)),
+                 "jacobi_svd_strided_batched: bad layout (need tall m >= n;"
+                 " pass a^H for wide blocks)");
+  DeviceContext::global().record_launch();
+  const index_t work = 2 * m * n * n;
+  if (use_stream_mode(policy, batch, batch * work)) {
+    // Few large problems: sequential blocked serial driver per problem (it
+    // counts its own non-convergence in svd_stats).
+    for (index_t i = 0; i < batch; ++i) {
+      MatrixView<T> wi{a + i * stride_a, m, n, lda};
+      MatrixView<T> vi{v + i * stride_v, n, n, ldv};
+      const SvdInfo r = jacobi_svd_inplace<T>(wi, vi, s + i * stride_s);
+      info.sweeps = std::max(info.sweeps, r.sweeps);
+      if (!r.converged) ++info.nonconverged;
+    }
+    return info;
+  }
+  svd_stats::detail::add_batched_sweep();
+  const R tol = R{32} * eps_v<T>;
+  const int max_sweeps = svd_max_sweeps();
+  // Per-launch Gram workspace (n x n per problem) carved from the calling
+  // thread's arena and registered as device memory, like QrBatchWorkspace.
+  // Only the sweep launches below touch it; it is dead by finalize time.
+  const std::size_t gcount =
+      static_cast<std::size_t>(batch) * static_cast<std::size_t>(n) * n;
+  T* g = WorkspaceArena::local().get<T>(gcount, WorkspaceArena::kScratch);
+  DeviceAllocation da(gcount * sizeof(T));
+  // V_i <- I in one pool launch.
+  DeviceContext::global().record_launch();
+  parallel_for_static(batch, [&](index_t i) {
+    MatrixView<T> vi{v + i * stride_v, n, n, ldv};
+    for (index_t j = 0; j < n; ++j) {
+      std::fill_n(vi.data + j * vi.ld, n, T{});
+      vi(j, j) = T{1};
+    }
+  });
+  // Active set: converged problems are compacted out, so late sweeps (the
+  // convergence tail is uneven across a batch) spend neither Gram flops nor
+  // rotation scans on problems that are already done.
+  std::vector<index_t> active;
+  if (n > 1) {
+    active.resize(static_cast<std::size_t>(batch));
+    for (index_t i = 0; i < batch; ++i)
+      active[static_cast<std::size_t>(i)] = i;
+  }
+  std::vector<char> rotated(static_cast<std::size_t>(batch));
+  std::vector<ConstMatrixView<T>> gav, gbv;
+  std::vector<MatrixView<T>> gcv;
+  while (!active.empty() && info.sweeps < max_sweeps) {
+    const index_t nact = static_cast<index_t>(active.size());
+    // (a) Refresh the active problems' Gram matrices in ONE batched GEMM
+    // launch (the pair dot products of the whole batch at engine speed) ...
+    gav.resize(static_cast<std::size_t>(nact));
+    gbv.resize(static_cast<std::size_t>(nact));
+    gcv.resize(static_cast<std::size_t>(nact));
+    for (index_t j = 0; j < nact; ++j) {
+      const index_t i = active[static_cast<std::size_t>(j)];
+      gav[static_cast<std::size_t>(j)] =
+          ConstMatrixView<T>(a + i * stride_a, m, n, lda);
+      gbv[static_cast<std::size_t>(j)] = gav[static_cast<std::size_t>(j)];
+      gcv[static_cast<std::size_t>(j)] = MatrixView<T>{g + i * n * n, n, n, n};
+    }
+    gemm_batched<T>(Op::C, Op::N, T{1}, gav, gbv, T{0}, gcv,
+                    BatchPolicy::kForceBatched);
+    // ... then (b) ONE pool launch rotates every active problem once.
+    svd_stats::detail::add_sweep_launch();
+    DeviceContext::global().record_launch();
+    parallel_for_static(nact, [&](index_t j) {
+      const index_t i = active[static_cast<std::size_t>(j)];
+      MatrixView<T> wi{a + i * stride_a, m, n, lda};
+      MatrixView<T> vi{v + i * stride_v, n, n, ldv};
+      MatrixView<T> gi{g + i * n * n, n, n, n};
+      rotated[static_cast<std::size_t>(i)] =
+          jacobi_sweep_gram<T>(wi, vi, gi, tol) ? 1 : 0;
+    });
+    ++info.sweeps;
+    std::erase_if(active,
+                  [&](index_t i) { return !rotated[static_cast<std::size_t>(i)]; });
+  }
+  if (!active.empty()) {
+    info.nonconverged = static_cast<index_t>(active.size());
+    svd_stats::detail::add_nonconverged(
+        static_cast<std::uint64_t>(active.size()));
+#ifndef NDEBUG
+    HODLRX_REQUIRE(false, "jacobi_svd_strided_batched: "
+                              << info.nonconverged << " of " << batch
+                              << " problem(s) not converged after "
+                              << info.sweeps
+                              << " sweeps (raise HODLRX_SVD_SWEEPS)");
+#endif
+  }
+  // Finalize launch: sort by descending singular value and normalize U.
+  DeviceContext::global().record_launch();
+  parallel_for_static(batch, [&](index_t i) {
+    MatrixView<T> wi{a + i * stride_a, m, n, lda};
+    MatrixView<T> vi{v + i * stride_v, n, n, ldv};
+    jacobi_finalize<T>(wi, vi, s + i * stride_s);
+  });
+  return info;
+}
+
 #define HODLRX_INSTANTIATE_BATCHED(T)                                        \
   template void gemm_batched<T>(Op, Op, T,                                   \
                                 std::span<const ConstMatrixView<T>>,         \
@@ -445,7 +556,10 @@ void thin_q_strided_batched(T* a, index_t lda, index_t stride_a, index_t m,
                                          BatchPolicy);                       \
   template void thin_q_strided_batched<T>(T*, index_t, index_t, index_t,     \
                                           index_t, const T*, index_t,        \
-                                          index_t, BatchPolicy);
+                                          index_t, BatchPolicy);             \
+  template SvdBatchInfo jacobi_svd_strided_batched<T>(                       \
+      T*, index_t, index_t, index_t, index_t, real_t<T>*, index_t, T*,       \
+      index_t, index_t, index_t, BatchPolicy);
 
 HODLRX_INSTANTIATE_BATCHED(float)
 HODLRX_INSTANTIATE_BATCHED(double)

@@ -138,4 +138,38 @@ void thin_q_strided_batched(T* a, index_t lda, index_t stride_a, index_t m,
                             index_t batch,
                             BatchPolicy policy = BatchPolicy::kAuto);
 
+/// Result of one batched Jacobi run: sweeps executed (shared across the
+/// batch — the drivers are sweep-synchronized) and the number of problems
+/// that exhausted the sweep budget (also counted in svd_stats and
+/// HODLRX_REQUIREd in debug, like the serial driver).
+struct SvdBatchInfo {
+  int sweeps = 0;
+  index_t nonconverged = 0;
+};
+
+/// Batched one-sided Jacobi SVD of `batch` uniform TALL problems — the
+/// stand-in for cuSOLVER's gesvdjBatched. Problem i occupies
+/// a + i*stride_a (m x n, m >= n, lda >= m; callers pass A^H for wide
+/// blocks) and is overwritten with its left singular vectors U_i (m x n,
+/// orthonormal columns where s > 0, descending); the singular values land
+/// at s + i*stride_s (stride_s >= n) and the right singular vectors V_i
+/// (n x n) at v + i*stride_v (ldv >= n), so A_i = U_i diag(s_i) V_i^H.
+///
+/// Batched mode is SWEEP-synchronized (the model of the batched QR engine):
+/// each cyclic Jacobi sweep is (a) ONE batched GEMM launch refreshing the
+/// Gram matrices G_i = W_i^H W_i of the still-active problems in a
+/// per-launch strided workspace and (b) ONE pool launch applying the cyclic
+/// column-pair rotations of those problems (jacobi_sweep_gram). Converged
+/// problems are compacted out of the active set, and the loop exits early
+/// once the whole batch has converged. A final pool launch sorts and
+/// normalizes every problem. Stream mode (few large problems) runs the
+/// problems sequentially through the blocked serial driver
+/// jacobi_svd_inplace.
+template <typename T>
+SvdBatchInfo jacobi_svd_strided_batched(T* a, index_t lda, index_t stride_a,
+                                        index_t m, index_t n, real_t<T>* s,
+                                        index_t stride_s, T* v, index_t ldv,
+                                        index_t stride_v, index_t batch,
+                                        BatchPolicy policy = BatchPolicy::kAuto);
+
 }  // namespace hodlrx

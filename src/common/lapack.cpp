@@ -1,6 +1,7 @@
 #include "common/lapack.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <complex>
 
@@ -661,8 +662,212 @@ CPQRFactors<T> geqp3(ConstMatrixView<T> a, NoDeduce<real_t<T>> tol,
   return out;
 }
 
+namespace svd_stats {
+namespace {
+std::atomic<std::uint64_t> g_serial{0}, g_nonconverged{0}, g_batched{0},
+    g_sweep_launches{0};
+}  // namespace
+std::uint64_t serial_svds() {
+  return g_serial.load(std::memory_order_relaxed);
+}
+std::uint64_t nonconverged() {
+  return g_nonconverged.load(std::memory_order_relaxed);
+}
+std::uint64_t batched_sweeps() {
+  return g_batched.load(std::memory_order_relaxed);
+}
+std::uint64_t sweep_launches() {
+  return g_sweep_launches.load(std::memory_order_relaxed);
+}
+void reset() {
+  g_serial.store(0, std::memory_order_relaxed);
+  g_nonconverged.store(0, std::memory_order_relaxed);
+  g_batched.store(0, std::memory_order_relaxed);
+  g_sweep_launches.store(0, std::memory_order_relaxed);
+}
+namespace detail {
+void add_serial() { g_serial.fetch_add(1, std::memory_order_relaxed); }
+void add_nonconverged(std::uint64_t n) {
+  g_nonconverged.fetch_add(n, std::memory_order_relaxed);
+}
+void add_batched_sweep() { g_batched.fetch_add(1, std::memory_order_relaxed); }
+void add_sweep_launch() {
+  g_sweep_launches.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+}  // namespace svd_stats
+
+int svd_max_sweeps() {
+  // Deliberately NOT cached in a static: one getenv per SVD call is noise,
+  // and rereading lets tests drive the non-convergence path at runtime.
+  return static_cast<int>(env_positive("HODLRX_SVD_SWEEPS", 42, 1));
+}
+
+template <typename T>
+bool jacobi_sweep_gram(MatrixView<T> w, MatrixView<T> v, MatrixView<T> g,
+                       NoDeduce<real_t<T>> tol) {
+  using R = real_t<T>;
+  const index_t m = w.rows, n = w.cols;
+  bool rotated = false;
+  for (index_t p = 0; p < n - 1; ++p) {
+    for (index_t q = p + 1; q < n; ++q) {
+      // The rotated diagonal entries can round to tiny negatives; clamp so
+      // the convergence test never feeds sqrt a negative.
+      const R alpha = std::max(R{0}, ScalarTraits<T>::real(g(p, p)));
+      const R beta = std::max(R{0}, ScalarTraits<T>::real(g(q, q)));
+      const T gamma = g(p, q);
+      const R gabs = abs_s(gamma);
+      if (gabs <= tol * std::sqrt(alpha * beta) || gabs == R{0}) continue;
+      rotated = true;
+      // Phase so that the rotated off-diagonal is real, then a real Jacobi
+      // rotation (c, sr).
+      const T phase = gamma / T{gabs};
+      const R zeta = (beta - alpha) / (R{2} * gabs);
+      const R t = (zeta >= R{0} ? R{1} : R{-1}) /
+                  (std::abs(zeta) + std::sqrt(R{1} + zeta * zeta));
+      const R c = R{1} / std::sqrt(R{1} + t * t);
+      const T s = phase * T{c * t};
+      T* __restrict__ wp = w.data + p * w.ld;
+      T* __restrict__ wq = w.data + q * w.ld;
+      for (index_t i = 0; i < m; ++i) {
+        const T xp = wp[i], xq = wq[i];
+        wp[i] = T{c} * xp - conj_s(s) * xq;
+        wq[i] = s * xp + T{c} * xq;
+      }
+      T* __restrict__ vp = v.data + p * v.ld;
+      T* __restrict__ vq = v.data + q * v.ld;
+      for (index_t i = 0; i < n; ++i) {
+        const T xp = vp[i], xq = vq[i];
+        vp[i] = T{c} * xp - conj_s(s) * xq;
+        vq[i] = s * xp + T{c} * xq;
+      }
+      // G <- M^H G M for the 2-column rotation M, O(n) instead of the O(m)
+      // dot products: columns p,q then rows p,q.
+      for (index_t j = 0; j < n; ++j) {
+        const T xp = g(j, p), xq = g(j, q);
+        g(j, p) = T{c} * xp - conj_s(s) * xq;
+        g(j, q) = s * xp + T{c} * xq;
+      }
+      for (index_t j = 0; j < n; ++j) {
+        const T xp = g(p, j), xq = g(q, j);
+        g(p, j) = T{c} * xp - s * xq;
+        g(q, j) = conj_s(s) * xp + T{c} * xq;
+      }
+    }
+  }
+  return rotated;
+}
+
+template <typename T>
+void jacobi_finalize(MatrixView<T> w, MatrixView<T> v, real_t<T>* s) {
+  using R = real_t<T>;
+  const index_t m = w.rows, n = w.cols;
+  std::vector<index_t> order(n);
+  std::vector<R> nrm(n);
+  for (index_t j = 0; j < n; ++j) {
+    nrm[j] = norm2(w.data + j * w.ld, m);
+    order[j] = j;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](index_t x, index_t y) { return nrm[x] > nrm[y]; });
+  for (index_t j = 0; j < n; ++j) s[j] = nrm[order[j]];
+  // Permute the columns of w and v in place by cycle-following (destination
+  // j receives source order[j]) — two column buffers of scratch instead of
+  // full-matrix copies, since this runs once per problem inside the batched
+  // finalize pool launch.
+  std::vector<T> colw(static_cast<std::size_t>(m)), colv(static_cast<std::size_t>(n));
+  std::vector<char> placed(static_cast<std::size_t>(n), 0);
+  for (index_t j0 = 0; j0 < n; ++j0) {
+    if (placed[j0]) continue;
+    std::copy_n(w.data + j0 * w.ld, m, colw.data());
+    std::copy_n(v.data + j0 * v.ld, n, colv.data());
+    index_t dst = j0;
+    while (true) {
+      const index_t src = order[dst];
+      placed[dst] = 1;
+      if (src == j0) {
+        std::copy_n(colw.data(), m, w.data + dst * w.ld);
+        std::copy_n(colv.data(), n, v.data + dst * v.ld);
+        break;
+      }
+      std::copy_n(w.data + src * w.ld, m, w.data + dst * w.ld);
+      std::copy_n(v.data + src * v.ld, n, v.data + dst * v.ld);
+      dst = src;
+    }
+  }
+  // Normalize the ordered columns of w into U (zero columns where s = 0).
+  for (index_t j = 0; j < n; ++j) {
+    const T inv = T{s[j] > R{0} ? R{1} / s[j] : R{0}};
+    T* __restrict__ wj = w.data + j * w.ld;
+    for (index_t i = 0; i < m; ++i) wj[i] *= inv;
+  }
+}
+
+template <typename T>
+SvdInfo jacobi_svd_inplace(MatrixView<T> w, MatrixView<T> v, real_t<T>* s) {
+  using R = real_t<T>;
+  const index_t m = w.rows, n = w.cols;
+  HODLRX_REQUIRE(n <= m, "jacobi_svd_inplace: need cols <= rows ("
+                             << m << "x" << n
+                             << "); pass a^H for wide blocks");
+  HODLRX_REQUIRE(v.rows == n && v.cols == n,
+                 "jacobi_svd_inplace: v must be " << n << "x" << n);
+  for (index_t j = 0; j < n; ++j) {
+    std::fill_n(v.data + j * v.ld, n, T{});
+    v(j, j) = T{1};
+  }
+  SvdInfo info;
+  if (n > 1) {
+    const R tol = R{32} * eps_v<T>;
+    const int max_sweeps = svd_max_sweeps();
+    Matrix<T> g(n, n);
+    bool rotated = true;
+    while (rotated && info.sweeps < max_sweeps) {
+      gemm(Op::C, Op::N, T{1}, ConstMatrixView<T>(w), ConstMatrixView<T>(w),
+           T{0}, g.view());
+      rotated = jacobi_sweep_gram<T>(w, v, g.view(), tol);
+      ++info.sweeps;
+    }
+    info.converged = !rotated;
+    if (!info.converged) {
+      svd_stats::detail::add_nonconverged(1);
+#ifndef NDEBUG
+      HODLRX_REQUIRE(false, "jacobi_svd: not converged after "
+                                << info.sweeps
+                                << " sweeps (raise HODLRX_SVD_SWEEPS)");
+#endif
+    }
+  }
+  jacobi_finalize<T>(w, v, s);
+  return info;
+}
+
 template <typename T>
 SVDResult<T> jacobi_svd(ConstMatrixView<T> a) {
+  svd_stats::detail::add_serial();
+  if (a.rows == 0 || a.cols == 0) return {};
+  // Work on a tall copy: if a is wide, factor a^H and swap U <-> V.
+  const bool flip = a.rows < a.cols;
+  Matrix<T> w = flip ? transpose(a, /*conjugate=*/true) : to_matrix(a);
+  const index_t n = w.cols();
+  Matrix<T> v(n, n);
+  SVDResult<T> out;
+  out.s.resize(n);
+  const SvdInfo info = jacobi_svd_inplace<T>(w.view(), v.view(), out.s.data());
+  out.sweeps = info.sweeps;
+  out.converged = info.converged;
+  if (flip) {
+    out.u = std::move(v);
+    out.v = std::move(w);
+  } else {
+    out.u = std::move(w);
+    out.v = std::move(v);
+  }
+  return out;
+}
+
+template <typename T>
+SVDResult<T> jacobi_svd_reference(ConstMatrixView<T> a) {
   using R = real_t<T>;
   if (a.rows == 0 || a.cols == 0) return {};
   // Work on a tall copy: if a is wide, factor a^H and swap U <-> V.
@@ -671,10 +876,13 @@ SVDResult<T> jacobi_svd(ConstMatrixView<T> a) {
   const index_t m = w.rows(), n = w.cols();
   Matrix<T> v = Matrix<T>::identity(n);
 
+  SVDResult<T> out;
   const R tol = R{32} * eps_v<T>;
-  const int max_sweeps = 42;
-  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
-    bool rotated = false;
+  const int max_sweeps = svd_max_sweeps();
+  bool rotated = n > 1;
+  while (rotated && out.sweeps < max_sweeps) {
+    rotated = false;
+    ++out.sweeps;
     for (index_t p = 0; p < n - 1; ++p) {
       for (index_t q = p + 1; q < n; ++q) {
         T* __restrict__ wp = w.data() + p * m;
@@ -712,35 +920,18 @@ SVDResult<T> jacobi_svd(ConstMatrixView<T> a) {
         }
       }
     }
-    if (!rotated) break;
   }
+  out.converged = !rotated;
+  if (!out.converged) svd_stats::detail::add_nonconverged(1);
 
-  SVDResult<T> out;
   out.s.resize(n);
-  std::vector<index_t> order(n);
-  for (index_t j = 0; j < n; ++j) {
-    out.s[j] = norm2(w.data() + j * m, m);
-    order[j] = j;
-  }
-  std::sort(order.begin(), order.end(),
-            [&](index_t x, index_t y) { return out.s[x] > out.s[y]; });
-  Matrix<T> u_sorted(m, n), v_sorted(n, n);
-  std::vector<R> s_sorted(n);
-  for (index_t j = 0; j < n; ++j) {
-    const index_t src = order[j];
-    s_sorted[j] = out.s[src];
-    const R inv = out.s[src] > R{0} ? R{1} / out.s[src] : R{0};
-    for (index_t i = 0; i < m; ++i)
-      u_sorted(i, j) = w(i, src) * T{inv};
-    for (index_t i = 0; i < n; ++i) v_sorted(i, j) = v(i, src);
-  }
-  out.s = std::move(s_sorted);
+  jacobi_finalize<T>(w.view(), v.view(), out.s.data());
   if (flip) {
-    out.u = std::move(v_sorted);
-    out.v = std::move(u_sorted);
+    out.u = std::move(v);
+    out.v = std::move(w);
   } else {
-    out.u = std::move(u_sorted);
-    out.v = std::move(v_sorted);
+    out.u = std::move(w);
+    out.v = std::move(v);
   }
   return out;
 }
@@ -790,7 +981,14 @@ Matrix<T> dense_solve(ConstMatrixView<T> a, NoDeduce<ConstMatrixView<T>> b) {
   template Matrix<T> r_factor<T>(const QRFactors<T>&);                      \
   template CPQRFactors<T> geqp3<T>(ConstMatrixView<T>, NoDeduce<real_t<T>>,  \
                                    index_t);                                \
+  template bool jacobi_sweep_gram<T>(MatrixView<T>, MatrixView<T>,          \
+                                     MatrixView<T>, NoDeduce<real_t<T>>);   \
+  template void jacobi_finalize<T>(MatrixView<T>, MatrixView<T>,            \
+                                   real_t<T>*);                             \
+  template SvdInfo jacobi_svd_inplace<T>(MatrixView<T>, MatrixView<T>,      \
+                                         real_t<T>*);                       \
   template SVDResult<T> jacobi_svd<T>(ConstMatrixView<T>);                  \
+  template SVDResult<T> jacobi_svd_reference<T>(ConstMatrixView<T>);        \
   template Matrix<T> dense_solve<T>(ConstMatrixView<T>,                    \
                                     NoDeduce<ConstMatrixView<T>>);
 

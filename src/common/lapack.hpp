@@ -206,7 +206,77 @@ struct SVDResult {
   Matrix<T> u;               ///< m x min(m,n)
   std::vector<real_t<T>> s;  ///< min(m,n), descending
   Matrix<T> v;               ///< n x min(m,n)
+  int sweeps = 0;            ///< cyclic Jacobi sweeps executed
+  bool converged = true;     ///< false: sweep budget exhausted (see svd_stats)
 };
+
+/// Counters of the Jacobi SVD machinery (relaxed atomics, process-wide).
+/// Tests use them to assert (a) that the batched compression sweep performs
+/// ZERO per-block SVD pool tasks and (b) that non-convergence never passes
+/// silently — the pre-PR-4 jacobi_svd returned garbage without a trace when
+/// it exhausted its sweep budget.
+namespace svd_stats {
+/// Serial single-problem jacobi_svd calls (the per-block path the batched
+/// compression sweep must NOT take).
+std::uint64_t serial_svds();
+/// Problems (serial or batched) that exhausted the sweep budget.
+std::uint64_t nonconverged();
+/// jacobi_svd_strided_batched calls that took the sweep-synchronized path.
+std::uint64_t batched_sweeps();
+/// Cross-batch rotation launches (one pool dispatch rotating every
+/// not-yet-converged problem once, fed by one strided Gram GEMM launch).
+std::uint64_t sweep_launches();
+void reset();
+namespace detail {  // increment hooks for the drivers (lapack + batched)
+void add_serial();
+void add_nonconverged(std::uint64_t n);
+void add_batched_sweep();
+void add_sweep_launch();
+}  // namespace detail
+}  // namespace svd_stats
+
+/// Sweep budget of every one-sided Jacobi driver. Read from
+/// HODLRX_SVD_SWEEPS through the shared env parser on EVERY call (not
+/// cached), so tests and long-running jobs can retune it; default 42.
+int svd_max_sweeps();
+
+/// Convergence report of an in-place one-sided Jacobi run.
+struct SvdInfo {
+  int sweeps = 0;
+  bool converged = true;
+};
+
+/// One cyclic sweep of one-sided Jacobi rotations over all column pairs of
+/// the TALL factor `w` (m x n, m >= n), accumulating the right rotations
+/// into `v` (n x n) and reading the rotation angles from the Gram matrix
+/// `g = w^H w` (n x n, computed by the caller at sweep start — ONE GEMM at
+/// engine speed instead of O(n^2) latency-bound length-m dot products).
+/// Every rotation is applied to w, v AND g, so g tracks w exactly within
+/// the sweep; callers refresh it per sweep so roundoff cannot accumulate
+/// across sweeps. Returns true when any rotation fired. This is the shared
+/// kernel of the blocked serial driver and of the batched engine's
+/// per-sweep pool launch.
+template <typename T>
+bool jacobi_sweep_gram(MatrixView<T> w, MatrixView<T> v, MatrixView<T> g,
+                       NoDeduce<real_t<T>> tol);
+
+/// Sort the rotated factor by descending column norm and normalize: on
+/// entry `w` (m x n) holds U * diag(s) column-scrambled and `v` the
+/// accumulated rotations; on return `w` holds U (zero columns where s = 0),
+/// `v` is permuted to match and `s[0..n)` is descending. Shared epilogue of
+/// the serial and batched drivers.
+template <typename T>
+void jacobi_finalize(MatrixView<T> w, MatrixView<T> v, real_t<T>* s);
+
+/// Blocked serial one-sided Jacobi, in place: `w` (m x n, m >= n — callers
+/// pass A^H for wide blocks) is overwritten with U, `v` (n x n) with V and
+/// `s` with the descending singular values, so A = U diag(s) V^H. "Blocked"
+/// = each sweep's pair dot products come from one Gram GEMM
+/// (jacobi_sweep_gram) instead of scalar loops. Non-convergence within
+/// svd_max_sweeps() is counted in svd_stats, reported in the result, and
+/// HODLRX_REQUIREd in debug builds.
+template <typename T>
+SvdInfo jacobi_svd_inplace(MatrixView<T> w, MatrixView<T> v, real_t<T>* s);
 
 template <typename T>
 SVDResult<T> jacobi_svd(ConstMatrixView<T> a);
@@ -218,6 +288,14 @@ template <typename T>
 SVDResult<T> jacobi_svd(const Matrix<T>& a) {
   return jacobi_svd(a.view());
 }
+
+/// The seed's one-sided Jacobi (per-pair scalar dot products), kept
+/// callable as fallback, test oracle and bench baseline — the same role
+/// geqrf_reference plays for the QR engine. Unlike the seed it reports
+/// sweeps/converged instead of silently returning garbage on sweep
+/// exhaustion.
+template <typename T>
+SVDResult<T> jacobi_svd_reference(ConstMatrixView<T> a);
 
 /// Dense solve helper: X = A^{-1} B (A copied, LU-factorized internally).
 template <typename T>

@@ -257,7 +257,11 @@ void FactorEngine<T>::run_solve_batched(const F& f, MatrixView<T> x) {
     const index_t q = klev.count;
     const index_t c = 2 * q;
     const index_t r2 = klev.r2;
-    const bool uniform = f.level_uniform_[l + 1] != 0 && x.ld == x.rows;
+    // The strided launches below are ld-aware (problem i is a row block at
+    // element offset i*s or i*2s of the SAME columns, addressed with x.ld),
+    // so a submatrix RHS view (x.ld > x.rows) stays on the uniform fast
+    // path — it used to silently fall back to per-block gemm_batched.
+    const bool uniform = f.level_uniform_[l + 1] != 0;
     const index_t s =
         uniform ? tree.node(ClusterTree::level_begin(l + 1)).size() : 0;
 

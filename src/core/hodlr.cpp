@@ -208,6 +208,13 @@ HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
 
   // Task list: every non-root node `nu` owns the block (I_nu, I_sib(nu));
   // leaves additionally own their diagonal block. All tasks independent.
+  // Per-block recompression is DEFERRED on uniform levels: those levels are
+  // re-truncated afterwards in one batched sweep per level instead of one
+  // pool task per block (the same machinery as the rsvd compression sweep).
+  std::vector<char> level_batched(tree.depth() + 1, 0);
+  if (opt.recompress)
+    for (index_t level = 1; level <= tree.depth(); ++level)
+      level_batched[level] = uniform_level_size(tree, level) > 0 ? 1 : 0;
   const index_t first = 1;
   const index_t num_offdiag = tree.num_nodes() - 1;
   const index_t num_leaves = tree.num_leaves();
@@ -224,8 +231,10 @@ HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
         HODLRX_REQUIRE(res.converged,
                        "ACA did not converge on block (" << nu << ", " << sib
                                                          << ")");
-        if (opt.recompress && res.factor.rank() > 0)
-          recompress(res.factor, static_cast<real_t<T>>(opt.tol));
+        if (opt.recompress && res.factor.rank() > 0 &&
+            !level_batched[ClusterTree::level_of(nu)])
+          recompress(res.factor, static_cast<real_t<T>>(opt.tol),
+                     opt.max_rank);
         // Rows of the block live on nu -> U_nu; columns on sib -> V_sib.
         h.u_[nu] = std::move(res.factor.u);
         h.v_[sib] = std::move(res.factor.v);
@@ -241,6 +250,26 @@ HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
   });
   for (const auto& e : errors)
     HODLRX_REQUIRE(e.empty(), "HodlrMatrix::build failed: " << e);
+  // Batched re-truncation of every uniform level: all of the level's s x s
+  // blocks (both sibling sides) share one recompress_batched sweep.
+  for (index_t level = 1; level <= tree.depth(); ++level) {
+    if (!level_batched[level]) continue;
+    const index_t begin = ClusterTree::level_begin(level);
+    const index_t count = ClusterTree::nodes_at_level(level);
+    std::vector<LowRankFactor<T>> fs(static_cast<std::size_t>(count));
+    for (index_t t = 0; t < count; ++t) {
+      const index_t nu = begin + t;
+      fs[static_cast<std::size_t>(t)].u = std::move(h.u_[nu]);
+      fs[static_cast<std::size_t>(t)].v =
+          std::move(h.v_[ClusterTree::sibling(nu)]);
+    }
+    recompress_batched<T>(fs, static_cast<real_t<T>>(opt.tol), opt.max_rank);
+    for (index_t t = 0; t < count; ++t) {
+      const index_t nu = begin + t;
+      h.u_[nu] = std::move(fs[static_cast<std::size_t>(t)].u);
+      h.v_[ClusterTree::sibling(nu)] = std::move(fs[static_cast<std::size_t>(t)].v);
+    }
+  }
   return h;
 }
 

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <algorithm>
+#include <span>
+
 #include "common/blas.hpp"
 #include "common/matrix.hpp"
 
@@ -27,5 +30,42 @@ struct LowRankFactor {
 
   std::size_t bytes() const { return u.bytes() + v.bytes(); }
 };
+
+/// The ONE truncation rule shared by every compressor (rsvd single-block,
+/// the batched compression sweep, recompress): cap the rank at `max_rank`
+/// first (< 0 means uncapped), then keep the leading singular values
+/// STRICTLY above `tol * s[0]` — the tolerance is RELATIVE to the largest
+/// singular value of this block, so a zero block truncates to rank 0 and
+/// `tol <= 0` keeps everything up to the cap. `s[0..count)` must be
+/// descending. Extracted because rsvd and recompress had drifted (recompress
+/// ignored the rank cap entirely).
+template <typename R>
+index_t truncate_rank(const R* s, index_t count, index_t max_rank, R tol) {
+  index_t k = max_rank >= 0 ? std::min(count, max_rank) : count;
+  if (tol > R{0} && count > 0) {
+    const R cut = tol * s[0];
+    index_t kk = 0;
+    while (kk < k && s[kk] > cut) ++kk;
+    k = kk;
+  }
+  return k;
+}
+
+/// Shared truncation epilogue of the batched compressors (the rsvd sweep
+/// and recompress_batched): per problem apply truncate_rank to
+/// `sig + i*width`, fold S_ik into the first k_i columns of the width x
+/// width rotation factors `w` (one elementwise pool launch), run the
+/// truncated left products U_i = Q_i (W_i S_i) for the WHOLE batch as ONE
+/// strided GEMM launch at the uniform width, and gather
+/// `out[i] = (U_i[:, :k_i], vsrc_i[:, :k_i])` in one batched copy-out
+/// launch. `q` holds the m x width left bases and `vsrc` the n x width
+/// right-vector sources, both at their natural contiguous strides.
+/// Implemented in rsvd.cpp.
+template <typename T>
+void truncated_products_batched(const T* q, index_t m, const T* vsrc,
+                                index_t n, T* w, index_t width,
+                                const real_t<T>* sig, index_t batch,
+                                index_t max_rank, real_t<T> tol,
+                                std::span<LowRankFactor<T>> out);
 
 }  // namespace hodlrx

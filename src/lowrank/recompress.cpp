@@ -1,13 +1,19 @@
 #include "lowrank/recompress.hpp"
 
 #include <complex>
+#include <vector>
 
+#include "batched/batched_blas.hpp"
+#include "common/error.hpp"
 #include "common/lapack.hpp"
+#include "common/parallel.hpp"
+#include "device/device.hpp"
 
 namespace hodlrx {
 
 template <typename T>
-index_t recompress(LowRankFactor<T>& factor, real_t<T> tol) {
+index_t recompress(LowRankFactor<T>& factor, real_t<T> tol,
+                   index_t max_rank) {
   using R = real_t<T>;
   const index_t m = factor.rows(), n = factor.cols(), r = factor.rank();
   if (r == 0) return 0;
@@ -21,9 +27,8 @@ index_t recompress(LowRankFactor<T>& factor, real_t<T> tol) {
        T{0}, core.view());
   SVDResult<T> svd = jacobi_svd<T>(core);
 
-  index_t k = 0;
-  const R cut = svd.s.empty() ? R{0} : tol * svd.s[0];
-  while (k < static_cast<index_t>(svd.s.size()) && svd.s[k] > cut) ++k;
+  const index_t k = truncate_rank<R>(
+      svd.s.data(), static_cast<index_t>(svd.s.size()), max_rank, tol);
 
   Matrix<T> qu_full = thin_q(qu);
   Matrix<T> qv_full = thin_q(qv);
@@ -43,8 +48,89 @@ index_t recompress(LowRankFactor<T>& factor, real_t<T> tol) {
   return k;
 }
 
-#define HODLRX_INSTANTIATE_RECOMPRESS(T) \
-  template index_t recompress<T>(LowRankFactor<T>&, real_t<T>);
+template <typename T>
+void recompress_batched(std::span<LowRankFactor<T>> factors, real_t<T> tol,
+                        index_t max_rank) {
+  using R = real_t<T>;
+  const index_t batch = static_cast<index_t>(factors.size());
+  if (batch == 0) return;
+  const index_t m = factors[0].rows(), n = factors[0].cols();
+  index_t rhat = 0;
+  for (const LowRankFactor<T>& f : factors) {
+    HODLRX_REQUIRE(f.rows() == m && f.cols() == n,
+                   "recompress_batched: factors must share one outer shape");
+    rhat = std::max(rhat, f.rank());
+  }
+  if (rhat == 0) return;
+  HODLRX_REQUIRE(rhat <= std::min(m, n),
+                 "recompress_batched: rank " << rhat << " exceeds block "
+                                             << m << "x" << n);
+
+  // Strided panels, every factor zero-padded to rhat columns (tau = 0
+  // reflectors for the padding; the padded core gains only zero singular
+  // values). One gather launch fills both sides.
+  Matrix<T> ub(m, rhat * batch), vb(n, rhat * batch);
+  DeviceContext::global().record_launch();
+  parallel_for_static(batch, [&](index_t i) {
+    const LowRankFactor<T>& f = factors[static_cast<std::size_t>(i)];
+    const index_t r = f.rank();
+    copy<T>(f.u.view(), MatrixView<T>{ub.data() + i * m * rhat, m, r, m});
+    copy<T>(f.v.view(), MatrixView<T>{vb.data() + i * n * rhat, n, r, n});
+  });
+
+  // Batched QR of every U and V panel.
+  std::vector<T> tau_u(static_cast<std::size_t>(rhat) * batch);
+  std::vector<T> tau_v(static_cast<std::size_t>(rhat) * batch);
+  geqrf_strided_batched<T>(ub.data(), m, m * rhat, m, rhat, tau_u.data(),
+                           rhat, batch);
+  geqrf_strided_batched<T>(vb.data(), n, n * rhat, n, rhat, tau_v.data(),
+                           rhat, batch);
+
+  // Stage the R factors (upper triangles; the buffers are zero-initialized),
+  // then the cores C_i = Ru_i Rv_i^H in ONE strided GEMM launch.
+  Matrix<T> ru(rhat, rhat * batch), rv(rhat, rhat * batch);
+  DeviceContext::global().record_launch();
+  parallel_for_static(batch, [&](index_t i) {
+    for (index_t j = 0; j < rhat; ++j) {
+      std::copy_n(ub.data() + i * m * rhat + j * m, j + 1,
+                  ru.data() + i * rhat * rhat + j * rhat);
+      std::copy_n(vb.data() + i * n * rhat + j * n, j + 1,
+                  rv.data() + i * rhat * rhat + j * rhat);
+    }
+  });
+  Matrix<T> core(rhat, rhat * batch);
+  gemm_strided_batched<T>(Op::N, Op::C, rhat, rhat, rhat, T{1}, ru.data(),
+                          rhat, rhat * rhat, rv.data(), rhat, rhat * rhat,
+                          T{0}, core.data(), rhat, rhat * rhat, batch);
+
+  // Explicit thin Qs, then the batched Jacobi SVD of all cores: core_i
+  // becomes Uc_i, wv_i the right vectors.
+  thin_q_strided_batched<T>(ub.data(), m, m * rhat, m, rhat, tau_u.data(),
+                            rhat, batch);
+  thin_q_strided_batched<T>(vb.data(), n, n * rhat, n, rhat, tau_v.data(),
+                            rhat, batch);
+  std::vector<R> sig(static_cast<std::size_t>(rhat) * batch);
+  Matrix<T> wv(rhat, rhat * batch);
+  jacobi_svd_strided_batched<T>(core.data(), rhat, rhat * rhat, rhat, rhat,
+                                sig.data(), rhat, wv.data(), rhat,
+                                rhat * rhat, batch);
+
+  // The right-vector panels v_new = Qv Vc in one strided launch, then the
+  // shared truncation epilogue (truncate_rank, S folded into Uc, ONE
+  // strided u_new = Qu Uc_k S_k launch, batched copy-out).
+  Matrix<T> vn(n, rhat * batch);
+  gemm_strided_batched<T>(Op::N, Op::N, n, rhat, rhat, T{1}, vb.data(), n,
+                          n * rhat, wv.data(), rhat, rhat * rhat, T{0},
+                          vn.data(), n, n * rhat, batch);
+  truncated_products_batched<T>(ub.data(), m, vn.data(), n, core.data(),
+                                rhat, sig.data(), batch, max_rank, tol,
+                                factors);
+}
+
+#define HODLRX_INSTANTIATE_RECOMPRESS(T)                                   \
+  template index_t recompress<T>(LowRankFactor<T>&, real_t<T>, index_t);   \
+  template void recompress_batched<T>(std::span<LowRankFactor<T>>,         \
+                                      real_t<T>, index_t);
 
 HODLRX_INSTANTIATE_RECOMPRESS(float)
 HODLRX_INSTANTIATE_RECOMPRESS(double)

@@ -1,18 +1,36 @@
 #pragma once
 
+#include <span>
+
 #include "lowrank/lowrank.hpp"
 
 /// \file recompress.hpp
 /// Rank re-truncation of a low-rank pair: QR both factors, SVD the small
-/// core, keep singular values above `tol` relative to the largest. ACA
-/// over-estimates ranks slightly; recompression restores near-optimal ones
-/// (this is what keeps the paper's per-level rank ladders tight).
+/// core, truncate with the shared truncate_rank rule (rank cap first, then
+/// singular values relative to the block's largest). ACA over-estimates
+/// ranks slightly; recompression restores near-optimal ones (this is what
+/// keeps the paper's per-level rank ladders tight).
 
 namespace hodlrx {
 
-/// In-place: factor <- truncated factor with V orthonormal.
-/// Returns the new rank.
+/// In-place: factor <- truncated factor. `tol` is relative to the largest
+/// singular value of the CORE (truncate_rank semantics); `max_rank < 0`
+/// means uncapped. Returns the new rank.
 template <typename T>
-index_t recompress(LowRankFactor<T>& factor, real_t<T> tol);
+index_t recompress(LowRankFactor<T>& factor, real_t<T> tol,
+                   index_t max_rank = -1);
+
+/// Batched recompression of factors with UNIFORM outer shape (equal
+/// rows/cols; ranks may differ — every factor is zero-padded to the batch's
+/// max rank, which leaves the nonzero singular values of its core
+/// untouched). The whole batch runs on the device model: strided-batched QR
+/// of all U and V panels, cores via one strided GEMM launch, the
+/// sweep-synchronized batched Jacobi SVD, the shared truncate_rank rule,
+/// and the truncated products Qu (W S) / Qv V as two more strided GEMM
+/// launches — this is how the construction stage recompresses a uniform
+/// tree level without per-block pool tasks.
+template <typename T>
+void recompress_batched(std::span<LowRankFactor<T>> factors, real_t<T> tol,
+                        index_t max_rank = -1);
 
 }  // namespace hodlrx

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/random.hpp"
+#include "device/device.hpp"
 
 namespace hodlrx {
 
@@ -24,17 +25,12 @@ template <typename T>
 LowRankFactor<T> rsvd_truncate(ConstMatrixView<T> q, ConstMatrixView<T> b,
                                const RsvdOptions& opt) {
   using R = real_t<T>;
-  const index_t m = q.rows, n = b.cols, l = q.cols;
+  const index_t m = q.rows, n = b.cols;
   SVDResult<T> svd = jacobi_svd<T>(b);
 
-  index_t k = std::min<index_t>(opt.rank > 0 ? opt.rank : l,
-                                static_cast<index_t>(svd.s.size()));
-  if (opt.tol > 0 && !svd.s.empty()) {
-    const R cut = static_cast<R>(opt.tol) * svd.s[0];
-    index_t kk = 0;
-    while (kk < k && svd.s[kk] > cut) ++kk;
-    k = kk;
-  }
+  const index_t k =
+      truncate_rank<R>(svd.s.data(), static_cast<index_t>(svd.s.size()),
+                       opt.rank > 0 ? opt.rank : -1, static_cast<R>(opt.tol));
 
   LowRankFactor<T> out;
   out.u = Matrix<T>(m, k);
@@ -71,6 +67,45 @@ LowRankFactor<T> rsvd_finish(ConstMatrixView<T> a, Matrix<T> y,
 }
 
 }  // namespace
+
+template <typename T>
+void truncated_products_batched(const T* q, index_t m, const T* vsrc,
+                                index_t n, T* w, index_t width,
+                                const real_t<T>* sig, index_t batch,
+                                index_t max_rank, real_t<T> tol,
+                                std::span<LowRankFactor<T>> out) {
+  using R = real_t<T>;
+  HODLRX_REQUIRE(static_cast<index_t>(out.size()) == batch,
+                 "truncated_products_batched: output batch mismatch");
+  // Shared truncation rule per problem (cheap host-side counting), then one
+  // elementwise launch folds S_ik into W_ik.
+  std::vector<index_t> k(static_cast<std::size_t>(batch));
+  for (index_t i = 0; i < batch; ++i)
+    k[static_cast<std::size_t>(i)] =
+        truncate_rank<R>(sig + i * width, width, max_rank, tol);
+  DeviceContext::global().record_launch();
+  parallel_for_static(batch, [&](index_t i) {
+    for (index_t j = 0; j < k[static_cast<std::size_t>(i)]; ++j)
+      scale_inplace(T{sig[i * width + j]},
+                    MatrixView<T>{w + i * width * width + j * width, width, 1,
+                                  width});
+  });
+  // U_i = Q_i (W_i S_i) for the WHOLE batch in one strided GEMM launch at
+  // the uniform width (columns past k_i are simply never read back),
+  // instead of a per-block gemm inside a pool task.
+  Matrix<T> uf(m, width * batch);
+  gemm_strided_batched<T>(Op::N, Op::N, m, width, width, T{1}, q, m,
+                          m * width, w, width, width * width, T{0}, uf.data(),
+                          m, m * width, batch);
+  // Gather the truncated factors (a batched copy-out, no per-block compute).
+  DeviceContext::global().record_launch();
+  parallel_for_static(batch, [&](index_t i) {
+    const index_t ki = k[static_cast<std::size_t>(i)];
+    LowRankFactor<T>& f = out[static_cast<std::size_t>(i)];
+    f.u = to_matrix(ConstMatrixView<T>(uf.data() + i * m * width, m, ki, m));
+    f.v = to_matrix(ConstMatrixView<T>(vsrc + i * n * width, n, ki, n));
+  });
+}
 
 template <typename T>
 LowRankFactor<T> rsvd(ConstMatrixView<T> a, const RsvdOptions& opt) {
@@ -115,9 +150,10 @@ std::vector<LowRankFactor<T>> rsvd_strided_batched(const T* a, index_t lda,
                           g.data(), n, /*stride_b=*/0, T{0}, y.data(), m,
                           m * l, batch);
   // The tails run on the device model too: EVERY stage — orthonormalization,
-  // power iterations, and the small problem B = Q^H A — is a batched launch
-  // (panel-synchronized batched QR + strided GEMM), not a per-block pool
-  // task. Only the tiny per-block SVD/truncation stays task-parallel.
+  // power iterations, the small problems, their SVDs and the truncated
+  // factor products — is a batched launch (panel-synchronized batched QR,
+  // sweep-synchronized batched Jacobi, strided GEMM); the sweep performs
+  // ZERO per-block pool tasks end to end.
   std::vector<T> tau(static_cast<std::size_t>(l) * batch);
   const auto orthonormalize = [&](Matrix<T>& x, index_t rows) {
     geqrf_strided_batched<T>(x.data(), rows, rows * l, rows, l, tau.data(), l,
@@ -140,18 +176,44 @@ std::vector<LowRankFactor<T>> rsvd_strided_batched(const T* a, index_t lda,
       orthonormalize(y, m);
     }
   }
-  // Small problems B_i = Q_i^H A_i in one strided launch, then the per-block
-  // SVDs and truncations across the pool.
-  Matrix<T> b(l, n * batch);
-  gemm_strided_batched<T>(Op::C, Op::N, l, n, m, T{1}, y.data(), m, m * l, a,
-                          lda, stride_a, T{0}, b.data(), l, l * n, batch);
-  parallel_for(batch, [&](index_t i) {
-    out[static_cast<std::size_t>(i)] = rsvd_truncate<T>(
-        ConstMatrixView<T>(y.data() + i * m * l, m, l, m),
-        ConstMatrixView<T>(b.data() + i * l * n, l, n, l), opt);
-  });
+  // Small problems, TRANSPOSED so every one is tall: Bh_i = A_i^H Q_i
+  // (n x l, l <= n) in one strided launch. Since B_i = Q_i^H A_i = Bh_i^H,
+  // the SVD of Bh_i = Uh_i S_i W_i^H hands back B_i's factors with the
+  // sides swapped: B_i = W_i S_i Uh_i^H, so A_i ~= Q_i B_i =
+  // (Q_i W_ik S_ik) Uh_ik^H.
+  using R = real_t<T>;
+  Matrix<T> bh(n, l * batch);
+  gemm_strided_batched<T>(Op::C, Op::N, n, l, m, T{1}, a, lda, stride_a,
+                          y.data(), m, m * l, T{0}, bh.data(), n, n * l,
+                          batch);
+  // Sweep-synchronized batched Jacobi over the whole batch: after it, bh
+  // holds Uh_i (normalized descending columns) and w the W_i rotations.
+  // Zero per-block SVD pool tasks (svd_stats::serial_svds stays flat).
+  std::vector<R> sig(static_cast<std::size_t>(l) * batch);
+  Matrix<T> w(l, l * batch);
+  jacobi_svd_strided_batched<T>(bh.data(), n, n * l, n, l, sig.data(), l,
+                                w.data(), l, l * l, batch,
+                                BatchPolicy::kForceBatched);
+  // Shared truncation epilogue: truncate_rank per problem, S folded into
+  // W_ik, ONE strided U_i = Q_i W_ik S_ik launch, batched copy-out.
+  truncated_products_batched<T>(y.data(), m, bh.data(), n, w.data(), l,
+                                sig.data(), batch,
+                                opt.rank > 0 ? opt.rank : -1,
+                                static_cast<R>(opt.tol), out);
   return out;
 }
+
+#define HODLRX_INSTANTIATE_TRUNC(T)                                          \
+  template void truncated_products_batched<T>(                               \
+      const T*, index_t, const T*, index_t, T*, index_t, const real_t<T>*,   \
+      index_t, index_t, real_t<T>, std::span<LowRankFactor<T>>);
+
+HODLRX_INSTANTIATE_TRUNC(float)
+HODLRX_INSTANTIATE_TRUNC(double)
+HODLRX_INSTANTIATE_TRUNC(std::complex<float>)
+HODLRX_INSTANTIATE_TRUNC(std::complex<double>)
+
+#undef HODLRX_INSTANTIATE_TRUNC
 
 #define HODLRX_INSTANTIATE_RSVD(T)                                           \
   template LowRankFactor<T> rsvd<T>(ConstMatrixView<T>, const RsvdOptions&); \

@@ -32,11 +32,13 @@ LowRankFactor<T> rsvd(ConstMatrixView<T> a, const RsvdOptions& opt);
 /// packed once per launch and reused by every block). The tails are batched
 /// too: orthonormalization and the power iterations run through
 /// geqrf_strided_batched / thin_q_strided_batched (panel-synchronized
-/// batched QR) and strided GEMM launches, and the small problems B = Q^H A
-/// form in one more strided launch — only the tiny per-block SVDs remain
-/// task-parallel. Used by HodlrMatrix::build (generator input, tile-by-tile
-/// materialization) and build_from_dense to compress a uniform tree level in
-/// one sweep (paper Sec. III-C / ROADMAP items).
+/// batched QR) and strided GEMM launches, the small problems form in one
+/// more strided launch, their SVDs run through the sweep-synchronized
+/// jacobi_svd_strided_batched, and the truncated U_i = Q_i W_ik S_ik
+/// products are one strided GEMM launch — ZERO per-block pool tasks end to
+/// end (svd_stats counter-asserted). Used by HodlrMatrix::build (generator
+/// input, tile-by-tile materialization) and build_from_dense to compress a
+/// uniform tree level in one sweep (paper Sec. III-C / ROADMAP items).
 template <typename T>
 std::vector<LowRankFactor<T>> rsvd_strided_batched(const T* a, index_t lda,
                                                    index_t stride_a, index_t m,

@@ -218,6 +218,46 @@ TEST(Factorization, MemoryBytesTracked) {
   EXPECT_EQ(DeviceContext::global().live_bytes(), 0u);
 }
 
+/// Regression for the ld-aware uniform fast path of run_solve_batched: a
+/// submatrix RHS view (x.ld > x.rows) must produce the same solution as a
+/// contiguous RHS AND stay on the uniform strided launches. Before the fix
+/// the `x.ld == x.rows` condition silently dropped such views to the
+/// per-block gemm_batched fallback — observable here because the
+/// identity-diagonal K form issues a different launch count on each path.
+TEST(Factorization, StridedRhsViewStaysOnUniformFastPath) {
+  using T = double;
+  const index_t n = 256, nrhs = 3;
+  Matrix<T> a = test::smooth_test_matrix<T>(n, 83);
+  ClusterTree tree = ClusterTree::uniform(n, 32);
+  BuildOptions bopt;
+  bopt.tol = 1e-11;
+  HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a, tree, bopt);
+  FactorOptions fopt;
+  fopt.kform = KForm::kIdentityDiagonal;
+  HodlrFactorization<T> f =
+      HodlrFactorization<T>::factor(PackedHodlr<T>::pack(h), fopt);
+  Matrix<T> b = random_matrix<T>(n, nrhs, 89);
+
+  Matrix<T> xc = to_matrix(b.view());
+  const std::uint64_t l0 = DeviceContext::global().launches();
+  f.solve_inplace(xc.view());
+  const std::uint64_t contiguous_launches =
+      DeviceContext::global().launches() - l0;
+
+  // The same RHS inside a larger buffer: n rows at offset 5, ld = n + 13.
+  Matrix<T> big(n + 13, nrhs + 2);
+  MatrixView<T> xs = big.block(5, 1, n, nrhs);
+  copy<T>(b.view(), xs);
+  const std::uint64_t l1 = DeviceContext::global().launches();
+  f.solve_inplace(xs);
+  const std::uint64_t strided_launches =
+      DeviceContext::global().launches() - l1;
+
+  EXPECT_LE(rel_error<T>(ConstMatrixView<T>(xs), xc.view()), 1e-13);
+  EXPECT_EQ(strided_launches, contiguous_launches)
+      << "a submatrix RHS view must stay on the uniform strided fast path";
+}
+
 TEST(Factorization, WrongRhsSizeThrows) {
   using T = double;
   const index_t n = 64;

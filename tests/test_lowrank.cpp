@@ -135,6 +135,7 @@ TYPED_TEST(LowrankTyped, RsvdStridedBatchedSharedSketchPackOnce) {
   opt.power_iterations = 2;
   gemm_stats::reset();
   qr_stats::reset();
+  svd_stats::reset();
   auto factors =
       rsvd_strided_batched<T>(big.data(), m, m * n, m, n, batch, opt);
   // The WHOLE sweep sketches against ONE shared Gaussian matrix: exactly one
@@ -148,6 +149,12 @@ TYPED_TEST(LowrankTyped, RsvdStridedBatchedSharedSketchPackOnce) {
   EXPECT_EQ(qr_stats::geqrf_batched_sweeps(), sweeps)
       << "the rsvd QR tail must issue batched geqrf launches";
   EXPECT_EQ(qr_stats::thin_q_batched_sweeps(), sweeps);
+  // PR 4: the SVD/truncation tail is batched too — ZERO per-block pool
+  // tasks anywhere in the sweep.
+  EXPECT_EQ(svd_stats::batched_sweeps(), 1u)
+      << "the truncation tail must run through the batched Jacobi engine";
+  EXPECT_EQ(svd_stats::serial_svds(), 0u)
+      << "the batched rsvd sweep must perform zero per-block SVD tasks";
   ASSERT_EQ(factors.size(), static_cast<std::size_t>(batch));
   for (index_t i = 0; i < batch; ++i) {
     EXPECT_EQ(factors[i].rank(), r) << "problem " << i;
@@ -169,12 +176,19 @@ TYPED_TEST(LowrankTyped, HodlrBuildFromDenseRsvdBatched) {
   opt.tol = 1e-10;
   opt.rsvd_power_iterations = 2;
   gemm_stats::reset();
+  svd_stats::reset();
   HodlrMatrix<T> h = HodlrMatrix<T>::build_from_dense(a.view(), tree, opt);
   // Levels 2 and 3 have >= 2 sibling pairs, so each of their two sweeps
   // (upper/lower blocks) packs the shared Gaussian exactly once; level 1 is
   // a batch of one and takes the ordinary path. 2 levels x 2 sweeps = 4.
   EXPECT_EQ(gemm_stats::shared_packs(), 4u)
       << "uniform-level sweeps must each pack their shared sketch once";
+  // End-to-end contract of the batched compressor: every sweep's SVD tail
+  // is a batched launch sequence and NO block ever falls back to a serial
+  // per-block jacobi_svd pool task. 3 levels x 2 sweeps = 6.
+  EXPECT_EQ(svd_stats::batched_sweeps(), 6u);
+  EXPECT_EQ(svd_stats::serial_svds(), 0u)
+      << "kRsvdBatched must perform zero per-block SVD pool tasks";
   EXPECT_LE(rel_error<T>(h.to_dense().view(), a.view()), 1e-7);
 }
 
