@@ -172,6 +172,7 @@ int main(int argc, char** argv) {
   std::printf("== bench_gemm: packed engine vs seed kernels "
               "(single thread for like-for-like) ==\n");
   bench::JsonArrayWriter out("BENCH_gemm.json");
+  bench::emit_blocking_records(out);
 
   run_case<double>({"d_nn_large", Op::N, Op::N, big, big, big}, args.repeats,
                    out);

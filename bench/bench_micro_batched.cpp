@@ -366,6 +366,7 @@ int main(int argc, char** argv) {
   // Both flags together mean "run both engine sections, skip the rest".
   if (!svd_only || qr_only) {
     bench::JsonArrayWriter qr_out("BENCH_qr_batched.json");
+    bench::emit_blocking_records(qr_out);
     std::printf("== batched QR engine vs per-block tail (%d threads) ==\n",
                 max_threads());
     // The acceptance shape of the compression sweep: 64 sketches of 256x32.
@@ -375,6 +376,7 @@ int main(int argc, char** argv) {
   }
   if (!qr_only || svd_only) {
     bench::JsonArrayWriter svd_out("BENCH_svd_batched.json");
+    bench::emit_blocking_records(svd_out);
     std::printf("== batched SVD engine vs per-block tail (%d threads) ==\n",
                 max_threads());
     // The truncation tail of the acceptance shape: 64 small problems of
@@ -393,6 +395,7 @@ int main(int argc, char** argv) {
   std::printf("== bench_micro_batched: batched engine on the persistent "
               "pool (%d threads) ==\n", max_threads());
   bench::JsonArrayWriter out("BENCH_micro_batched.json");
+  bench::emit_blocking_records(out);
   // Many small problems: batching wins by avoiding per-call overhead.
   bench_gemm_small(256, small, args.repeats, out);
   bench_gemm_small(1024, small, args.repeats, out);

@@ -149,6 +149,7 @@ int main(int argc, char** argv) {
   std::printf("== bench_trsm: blocked solve engine vs seed kernels "
               "(single thread for like-for-like) ==\n");
   bench::JsonArrayWriter out("BENCH_trsm.json");
+  bench::emit_blocking_records(out);
 
   run_trsm_case<double>("trsm", Uplo::Lower, big, big, args.repeats, out);
   run_trsm_case<double>("trsm", Uplo::Upper, big, big, args.repeats, out);

@@ -7,6 +7,9 @@
 #include <vector>
 
 #include "baseline/recursive_solver.hpp"
+#include "common/blocking.hpp"
+#include "common/gemm_kernel.hpp"
+#include "common/hwinfo.hpp"
 #include "common/timer.hpp"
 #include "core/factorization.hpp"
 #include "device/device.hpp"
@@ -240,5 +243,53 @@ class JsonArrayWriter {
   bool first_record_ = true;
   bool first_field_ = true;
 };
+
+namespace detail {
+template <typename T>
+void emit_blocking_record(JsonArrayWriter& out) {
+  const ResolvedBlocking& rb = resolved_blocking<T>();
+  out.begin_record();
+  out.field("case", "blocking");
+  out.field("type", scalar_name<T>());
+  out.field("tile", gemm_selected_tile_name<T>());
+  out.field("mr", rb.mr);
+  out.field("nr", rb.nr);
+  out.field("mc", rb.mc);
+  out.field("kc", rb.kc);
+  out.field("nc", rb.nc);
+  out.field("trsm_nb", rb.trsm_nb);
+  out.field("qr_nb", rb.qr_nb);
+  out.field("tile_src", blocking_source_name(rb.tile_src));
+  out.field("mc_src", blocking_source_name(rb.mc_src));
+  out.field("kc_src", blocking_source_name(rb.kc_src));
+  out.field("nc_src", blocking_source_name(rb.nc_src));
+  out.field("trsm_src", blocking_source_name(rb.trsm_src));
+  out.field("qr_src", blocking_source_name(rb.qr_src));
+  out.end_record();
+}
+}  // namespace detail
+
+/// Prepend the RESOLVED blocking configuration (post-probe, post-override —
+/// not the compile-time constants) plus the probed topology to a bench JSON,
+/// so every BENCH_*.json records exactly what blocking the run used. Call
+/// right after constructing the writer.
+inline void emit_blocking_records(JsonArrayWriter& out) {
+  const HwInfo& hw = hwinfo();
+  out.begin_record();
+  out.field("case", "hwinfo");
+  out.field("l1d_bytes", static_cast<index_t>(hw.l1d_bytes));
+  out.field("l2_bytes", static_cast<index_t>(hw.l2_bytes));
+  out.field("l3_bytes", static_cast<index_t>(hw.l3_bytes));
+  out.field("line_bytes", static_cast<index_t>(hw.line_bytes));
+  out.field("cpus", static_cast<index_t>(hw.logical_cpus));
+  out.field("family", hw.family);
+  out.field("probe_source", hw.source);
+  out.field("autotune", autotune_enabled() ? "on" : "off");
+  out.end_record();
+  detail::emit_blocking_record<float>(out);
+  detail::emit_blocking_record<double>(out);
+  detail::emit_blocking_record<std::complex<float>>(out);
+  detail::emit_blocking_record<std::complex<double>>(out);
+}
 
 }  // namespace hodlrx::bench

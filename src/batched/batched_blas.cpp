@@ -4,6 +4,7 @@
 #include <atomic>
 #include <complex>
 
+#include "common/blocking.hpp"
 #include "common/error.hpp"
 #include "common/flops.hpp"
 #include "common/gemm_kernel.hpp"
@@ -338,7 +339,7 @@ void geqrf_strided_batched(T* a, index_t lda, index_t stride_a, index_t m,
     return;
   }
   qr_stats::g_geqrf_sweeps.fetch_add(1, std::memory_order_relaxed);
-  const index_t nb = qr_panel_nb();
+  const index_t nb = resolved_blocking<T>().qr_nb;
   QrBatchWorkspace<T> ws(m, n, nb, batch);
   for (index_t k = 0; k < kmax; k += nb) {
     const index_t ib = std::min(nb, kmax - k);
@@ -385,7 +386,7 @@ void thin_q_strided_batched(T* a, index_t lda, index_t stride_a, index_t m,
     return;
   }
   qr_stats::g_thin_q_sweeps.fetch_add(1, std::memory_order_relaxed);
-  const index_t nb = qr_panel_nb();
+  const index_t nb = resolved_blocking<T>().qr_nb;
   QrBatchWorkspace<T> ws(m, kq, nb, batch);
   for (index_t kk = ((kq - 1) / nb) * nb; kk >= 0; kk -= nb) {
     const index_t ib = std::min(nb, kq - kk);

@@ -4,25 +4,12 @@
 #include <complex>
 #include <mutex>
 
-#include "common/env.hpp"
+#include "common/blocking.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/workspace.hpp"
 
 namespace hodlrx {
-
-template <typename T>
-const CacheBlocking& gemm_blocking() {
-  // Read once per process (per scalar type); every pack and every consumer
-  // of the packed layout sees the same values. Clamps keep packing well
-  // formed.
-  static const CacheBlocking p{
-      env_positive("HODLRX_GEMM_MC", GemmBlocking<T>::MC, GemmBlocking<T>::MR),
-      env_positive("HODLRX_GEMM_KC", GemmBlocking<T>::KC),
-      env_positive("HODLRX_GEMM_NC", GemmBlocking<T>::NC,
-                   GemmBlocking<T>::NR)};
-  return p;
-}
 
 namespace gemm_stats {
 
@@ -64,14 +51,23 @@ namespace {
 
 inline index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
 
+/// `v` rounded up to whole register-tile panels. The packers zero-pad the
+/// last MR-row (NR-column) panel to full width, so every pack buffer must
+/// be sized to the PADDED extent: resolved MC/NC need not be tile multiples
+/// once an environment override is in play.
+inline index_t padded(index_t v, index_t tile) {
+  return ceil_div(v, tile) * tile;
+}
+
 /// Pack the cache block op(A)(i0:i0+mc, p0:p0+kc) into MR-row panels:
 /// dst[(ip*kc + l)*MR + i] = op(A)(i0 + ip*MR + i, p0 + l), zero-padded to a
 /// full MR in the last panel. Transposition/conjugation is absorbed here, so
-/// the micro-kernel always streams dst with unit stride.
-template <typename T>
+/// the micro-kernel always streams dst with unit stride. MR is a template
+/// parameter: one instantiation per register-tile variant, selected through
+/// the GemmKernels dispatch table below.
+template <typename T, index_t MR>
 void pack_a_block(Op opa, ConstMatrixView<T> a, index_t i0, index_t p0,
                   index_t mc, index_t kc, T* __restrict__ dst) {
-  constexpr index_t MR = GemmBlocking<T>::MR;
   const index_t panels = ceil_div(mc, MR);
   for (index_t ip = 0; ip < panels; ++ip) {
     const index_t ib = i0 + ip * MR;
@@ -104,10 +100,9 @@ void pack_a_block(Op opa, ConstMatrixView<T> a, index_t i0, index_t p0,
 /// Pack the cache block op(B)(p0:p0+kc, j0:j0+nc) into NR-column panels:
 /// dst[(jp*kc + l)*NR + j] = op(B)(p0 + l, j0 + jp*NR + j), zero-padded to a
 /// full NR in the last panel.
-template <typename T>
+template <typename T, index_t NR>
 void pack_b_block(Op opb, ConstMatrixView<T> b, index_t p0, index_t j0,
                   index_t kc, index_t nc, T* __restrict__ dst) {
-  constexpr index_t NR = GemmBlocking<T>::NR;
   const index_t panels = ceil_div(nc, NR);
   for (index_t jp = 0; jp < panels; ++jp) {
     const index_t jb = j0 + jp * NR;
@@ -139,12 +134,11 @@ void pack_b_block(Op opb, ConstMatrixView<T> b, index_t p0, index_t j0,
 
 /// MR x NR register tile: acc += Ap_panel * Bp_panel over kc. Both panels
 /// are unit-stride; MR and NR are compile-time so the compiler fully unrolls
-/// and keeps acc in registers (12 vector accumulators for double on AVX2).
-template <typename T>
+/// and keeps acc in registers (12 vector accumulators for the wide double
+/// tile on AVX2).
+template <typename T, index_t MR, index_t NR>
 inline void micro_kernel(index_t kc, const T* __restrict__ ap,
                          const T* __restrict__ bp, T* __restrict__ acc) {
-  constexpr index_t MR = GemmBlocking<T>::MR;
-  constexpr index_t NR = GemmBlocking<T>::NR;
   for (index_t l = 0; l < kc; ++l) {
     const T* __restrict__ al = ap + l * MR;
     const T* __restrict__ bl = bp + l * NR;
@@ -159,12 +153,10 @@ inline void micro_kernel(index_t kc, const T* __restrict__ ap,
 /// One (mc x nc) block of C against packed panels Ap (mc x kc) and Bp
 /// (kc x nc). `beta` here is the effective beta for this k-slice (the
 /// caller passes the user beta for the first slice, 1 afterwards).
-template <typename T>
+template <typename T, index_t MR, index_t NR>
 void macro_kernel(index_t mc, index_t nc, index_t kc, T alpha,
                   const T* __restrict__ ap_all, const T* __restrict__ bp_all,
                   T beta, MatrixView<T> cblk) {
-  constexpr index_t MR = GemmBlocking<T>::MR;
-  constexpr index_t NR = GemmBlocking<T>::NR;
   for (index_t jr = 0; jr < nc; jr += NR) {
     const index_t nr = std::min(NR, nc - jr);
     const T* bp = bp_all + (jr / NR) * kc * NR;
@@ -172,7 +164,7 @@ void macro_kernel(index_t mc, index_t nc, index_t kc, T alpha,
       const index_t mr = std::min(MR, mc - ir);
       const T* ap = ap_all + (ir / MR) * kc * MR;
       T acc[MR * NR] = {};
-      micro_kernel<T>(kc, ap, bp, acc);
+      micro_kernel<T, MR, NR>(kc, ap, bp, acc);
       for (index_t j = 0; j < nr; ++j) {
         T* __restrict__ cj = cblk.data + ir + (jr + j) * cblk.ld;
         const T* __restrict__ accj = acc + j * MR;
@@ -187,6 +179,50 @@ void macro_kernel(index_t mc, index_t nc, index_t kc, T alpha,
       }
     }
   }
+}
+
+/// The per-variant entry points the engine drivers call through. One table
+/// row per compiled register-tile shape; the row is picked at first use to
+/// match resolved_blocking<T>().mr/nr (function-pointer dispatch, so adding
+/// a third shape is one more make_kernels line).
+template <typename T>
+struct GemmKernels {
+  index_t mr, nr;
+  const char* name;
+  void (*pack_a)(Op, ConstMatrixView<T>, index_t, index_t, index_t, index_t,
+                 T*);
+  void (*pack_b)(Op, ConstMatrixView<T>, index_t, index_t, index_t, index_t,
+                 T*);
+  void (*macro)(index_t, index_t, index_t, T, const T*, const T*, T,
+                MatrixView<T>);
+};
+
+template <typename T, index_t MR, index_t NR>
+constexpr GemmKernels<T> make_kernels(const char* name) {
+  return {MR,
+          NR,
+          name,
+          &pack_a_block<T, MR>,
+          &pack_b_block<T, NR>,
+          &macro_kernel<T, MR, NR>};
+}
+
+/// The selected variant for T. The blocking resolver owns the CHOICE (its
+/// mr/nr come from the tile-selection rule + HODLRX_GEMM_TILE); this lookup
+/// merely binds it to compiled code. Falls back to the wide row if the
+/// resolver ever emitted a shape that was not compiled — unreachable today,
+/// but cheap insurance against a future resolver bug.
+template <typename T>
+const GemmKernels<T>& gemm_kernels() {
+  static const GemmKernels<T> table[] = {
+      make_kernels<T, GemmTiles<T>::kWide.mr, GemmTiles<T>::kWide.nr>("wide"),
+      make_kernels<T, GemmTiles<T>::kCompact.mr, GemmTiles<T>::kCompact.nr>(
+          "compact"),
+  };
+  const ResolvedBlocking& rb = resolved_blocking<T>();
+  for (const GemmKernels<T>& k : table)
+    if (k.mr == rb.mr && k.nr == rb.nr) return k;
+  return table[0];
 }
 
 /// beta-only epilogue for degenerate calls (k == 0 or alpha == 0).
@@ -205,9 +241,21 @@ void scale_c(T beta, MatrixView<T> c) {
 }  // namespace
 
 template <typename T>
+TileDims gemm_selected_tile() {
+  const GemmKernels<T>& k = gemm_kernels<T>();
+  return {k.mr, k.nr};
+}
+
+template <typename T>
+const char* gemm_selected_tile_name() {
+  return gemm_kernels<T>().name;
+}
+
+template <typename T>
 void gemm_packed(Op opa, Op opb, T alpha, NoDeduce<ConstMatrixView<T>> a,
                  NoDeduce<ConstMatrixView<T>> b, T beta, MatrixView<T> c) {
-  const CacheBlocking& blk = gemm_blocking<T>();
+  const ResolvedBlocking& blk = resolved_blocking<T>();
+  const GemmKernels<T>& kern = gemm_kernels<T>();
   const index_t MC = blk.mc, KC = blk.kc, NC = blk.nc;
   const index_t m = c.rows, n = c.cols, k = op_cols(opa, a);
   if (m == 0 || n == 0) return;
@@ -216,21 +264,21 @@ void gemm_packed(Op opa, Op opb, T alpha, NoDeduce<ConstMatrixView<T>> a,
     return;
   }
   WorkspaceArena& ws = WorkspaceArena::local();
-  T* ap = ws.get<T>(MC * KC, WorkspaceArena::kPackA);
-  T* bp = ws.get<T>(KC * NC, WorkspaceArena::kPackB);
+  T* ap = ws.get<T>(padded(MC, kern.mr) * KC, WorkspaceArena::kPackA);
+  T* bp = ws.get<T>(KC * padded(NC, kern.nr), WorkspaceArena::kPackB);
   for (index_t jc = 0; jc < n; jc += NC) {
     const index_t nc = std::min(NC, n - jc);
     for (index_t pc = 0; pc < k; pc += KC) {
       const index_t kc = std::min(KC, k - pc);
-      pack_b_block(opb, b, pc, jc, kc, nc, bp);
+      kern.pack_b(opb, b, pc, jc, kc, nc, bp);
       gemm_stats::g_b_packs.fetch_add(1, std::memory_order_relaxed);
       const T beta_eff = (pc == 0) ? beta : T{1};
       for (index_t ic = 0; ic < m; ic += MC) {
         const index_t mc = std::min(MC, m - ic);
-        pack_a_block(opa, a, ic, pc, mc, kc, ap);
+        kern.pack_a(opa, a, ic, pc, mc, kc, ap);
         gemm_stats::g_a_packs.fetch_add(1, std::memory_order_relaxed);
-        macro_kernel(mc, nc, kc, alpha, ap, bp, beta_eff,
-                     c.block(ic, jc, mc, nc));
+        kern.macro(mc, nc, kc, alpha, ap, bp, beta_eff,
+                   c.block(ic, jc, mc, nc));
       }
     }
   }
@@ -238,8 +286,9 @@ void gemm_packed(Op opa, Op opb, T alpha, NoDeduce<ConstMatrixView<T>> a,
 
 template <typename T>
 void pack_a_full_into(Op opa, ConstMatrixView<T> a, PackedMatrix<T>& p) {
-  constexpr index_t MR = GemmBlocking<T>::MR;
-  const CacheBlocking& blk = gemm_blocking<T>();
+  const ResolvedBlocking& blk = resolved_blocking<T>();
+  const GemmKernels<T>& kern = gemm_kernels<T>();
+  const index_t MR = kern.mr;
   const index_t MC = blk.mc, KC = blk.kc;
   p.kind_ = PackedMatrix<T>::Kind::kA;
   p.rows_ = op_rows(opa, a);
@@ -264,8 +313,8 @@ void pack_a_full_into(Op opa, ConstMatrixView<T> a, PackedMatrix<T>& p) {
     const index_t mc = std::min(MC, p.rows_ - it * MC);
     for (index_t pt = 0; pt < p.grid_cols_; ++pt) {
       const index_t kc = std::min(KC, p.cols_ - pt * KC);
-      pack_a_block(opa, a, it * MC, pt * KC, mc, kc,
-                   p.buf_.data() + p.offsets_[it * p.grid_cols_ + pt]);
+      kern.pack_a(opa, a, it * MC, pt * KC, mc, kc,
+                  p.buf_.data() + p.offsets_[it * p.grid_cols_ + pt]);
     }
   }
 }
@@ -280,8 +329,9 @@ PackedMatrix<T> pack_a_full(Op opa, ConstMatrixView<T> a) {
 
 template <typename T>
 PackedMatrix<T> pack_b_full(Op opb, ConstMatrixView<T> b) {
-  constexpr index_t NR = GemmBlocking<T>::NR;
-  const CacheBlocking& blk = gemm_blocking<T>();
+  const ResolvedBlocking& blk = resolved_blocking<T>();
+  const GemmKernels<T>& kern = gemm_kernels<T>();
+  const index_t NR = kern.nr;
   const index_t KC = blk.kc, NC = blk.nc;
   PackedMatrix<T> p;
   p.kind_ = PackedMatrix<T>::Kind::kB;
@@ -305,8 +355,8 @@ PackedMatrix<T> pack_b_full(Op opb, ConstMatrixView<T> b) {
     const index_t kc = std::min(KC, p.rows_ - pt * KC);
     for (index_t jt = 0; jt < p.grid_cols_; ++jt) {
       const index_t nc = std::min(NC, p.cols_ - jt * NC);
-      pack_b_block(opb, b, pt * KC, jt * NC, kc, nc,
-                   p.buf_.data() + p.offsets_[pt * p.grid_cols_ + jt]);
+      kern.pack_b(opb, b, pt * KC, jt * NC, kc, nc,
+                  p.buf_.data() + p.offsets_[pt * p.grid_cols_ + jt]);
     }
   }
   gemm_stats::g_shared_packs.fetch_add(1, std::memory_order_relaxed);
@@ -317,7 +367,8 @@ template <typename T>
 void gemm_prepacked_a(const PackedMatrix<T>& ap, T alpha, Op opb,
                       NoDeduce<ConstMatrixView<T>> b, T beta,
                       MatrixView<T> c) {
-  const CacheBlocking& blk = gemm_blocking<T>();
+  const ResolvedBlocking& blk = resolved_blocking<T>();
+  const GemmKernels<T>& kern = gemm_kernels<T>();
   const index_t MC = blk.mc, KC = blk.kc, NC = blk.nc;
   HODLRX_REQUIRE(ap.kind() == PackedMatrix<T>::Kind::kA,
                  "gemm_prepacked_a: operand was packed as B");
@@ -331,18 +382,18 @@ void gemm_prepacked_a(const PackedMatrix<T>& ap, T alpha, Op opb,
     return;
   }
   WorkspaceArena& ws = WorkspaceArena::local();
-  T* bp = ws.get<T>(KC * NC, WorkspaceArena::kPackB);
+  T* bp = ws.get<T>(KC * padded(NC, kern.nr), WorkspaceArena::kPackB);
   for (index_t jc = 0; jc < n; jc += NC) {
     const index_t nc = std::min(NC, n - jc);
     for (index_t pc = 0; pc < k; pc += KC) {
       const index_t kc = std::min(KC, k - pc);
-      pack_b_block(opb, b, pc, jc, kc, nc, bp);
+      kern.pack_b(opb, b, pc, jc, kc, nc, bp);
       gemm_stats::g_b_packs.fetch_add(1, std::memory_order_relaxed);
       const T beta_eff = (pc == 0) ? beta : T{1};
       for (index_t ic = 0; ic < m; ic += MC) {
         const index_t mc = std::min(MC, m - ic);
-        macro_kernel(mc, nc, kc, alpha, ap.tile(ic / MC, pc / KC), bp,
-                     beta_eff, c.block(ic, jc, mc, nc));
+        kern.macro(mc, nc, kc, alpha, ap.tile(ic / MC, pc / KC), bp, beta_eff,
+                   c.block(ic, jc, mc, nc));
       }
     }
   }
@@ -351,7 +402,8 @@ void gemm_prepacked_a(const PackedMatrix<T>& ap, T alpha, Op opb,
 template <typename T>
 void gemm_prepacked_b(Op opa, T alpha, NoDeduce<ConstMatrixView<T>> a,
                       const PackedMatrix<T>& bp, T beta, MatrixView<T> c) {
-  const CacheBlocking& blk = gemm_blocking<T>();
+  const ResolvedBlocking& blk = resolved_blocking<T>();
+  const GemmKernels<T>& kern = gemm_kernels<T>();
   const index_t MC = blk.mc, KC = blk.kc, NC = blk.nc;
   HODLRX_REQUIRE(bp.kind() == PackedMatrix<T>::Kind::kB,
                  "gemm_prepacked_b: operand was packed as A");
@@ -365,7 +417,7 @@ void gemm_prepacked_b(Op opa, T alpha, NoDeduce<ConstMatrixView<T>> a,
     return;
   }
   WorkspaceArena& ws = WorkspaceArena::local();
-  T* ap = ws.get<T>(MC * KC, WorkspaceArena::kPackA);
+  T* ap = ws.get<T>(padded(MC, kern.mr) * KC, WorkspaceArena::kPackA);
   for (index_t jc = 0; jc < n; jc += NC) {
     const index_t nc = std::min(NC, n - jc);
     for (index_t pc = 0; pc < k; pc += KC) {
@@ -373,10 +425,10 @@ void gemm_prepacked_b(Op opa, T alpha, NoDeduce<ConstMatrixView<T>> a,
       const T beta_eff = (pc == 0) ? beta : T{1};
       for (index_t ic = 0; ic < m; ic += MC) {
         const index_t mc = std::min(MC, m - ic);
-        pack_a_block(opa, a, ic, pc, mc, kc, ap);
+        kern.pack_a(opa, a, ic, pc, mc, kc, ap);
         gemm_stats::g_a_packs.fetch_add(1, std::memory_order_relaxed);
-        macro_kernel(mc, nc, kc, alpha, ap, bp.tile(pc / KC, jc / NC),
-                     beta_eff, c.block(ic, jc, mc, nc));
+        kern.macro(mc, nc, kc, alpha, ap, bp.tile(pc / KC, jc / NC), beta_eff,
+                   c.block(ic, jc, mc, nc));
       }
     }
   }
@@ -419,7 +471,8 @@ bool gemm_parallel_shared_a(Op opa, Op opb, T alpha,
   template void gemm_packed<T>(Op, Op, T, NoDeduce<ConstMatrixView<T>>,       \
                                NoDeduce<ConstMatrixView<T>>, T,               \
                                MatrixView<T>);                                \
-  template const CacheBlocking& gemm_blocking<T>();                           \
+  template TileDims gemm_selected_tile<T>();                                  \
+  template const char* gemm_selected_tile_name<T>();                          \
   template PackedMatrix<T> pack_a_full<T>(Op, ConstMatrixView<T>);            \
   template void pack_a_full_into<T>(Op, ConstMatrixView<T>,                   \
                                     PackedMatrix<T>&);                        \

@@ -32,25 +32,14 @@
 
 namespace hodlrx {
 
-/// Cache/register blocking parameters, tuned per scalar width. MC/KC size
-/// the A-pack for L2, KC*NC sizes the B-pack for L3; MR x NR is the register
-/// tile (accumulators stay in registers across the k loop). MR/NR are
-/// compile-time (the micro-kernel unrolls over them); MC/KC/NC are the
-/// *defaults* for the runtime values below.
+/// STATIC per-scalar-type blocking defaults: the AVX2-class set every engine
+/// used before the hardware-adaptive resolver (blocking.hpp) existed. These
+/// are rung 3 of the resolution ladder (env override > probed model > static)
+/// and exactly what HODLRX_AUTOTUNE=off selects. MC/KC size the A-pack for
+/// L2, KC*NC sizes the B-pack for L3; MR x NR is the "wide" register tile.
+/// Runtime code reads resolved_blocking<T>() instead of these constants.
 template <typename T>
 struct GemmBlocking;
-
-/// Runtime cache-blocking: GemmBlocking<T>'s MC/KC/NC unless overridden via
-/// the environment (HODLRX_GEMM_MC / HODLRX_GEMM_KC / HODLRX_GEMM_NC, read
-/// once per process and applied to every scalar type). A stepping stone
-/// toward per-microarchitecture dispatch: cache sizes can be tuned without a
-/// rebuild. Values are clamped so packing stays well formed (mc >= MR,
-/// nc >= NR, kc >= 1); the register tile itself is not overridable.
-struct CacheBlocking {
-  index_t mc, kc, nc;
-};
-template <typename T>
-const CacheBlocking& gemm_blocking();
 
 template <>
 struct GemmBlocking<float> {
@@ -68,6 +57,39 @@ template <>
 struct GemmBlocking<std::complex<double>> {
   static constexpr index_t MR = 4, NR = 4, MC = 128, KC = 192, NC = 2048;
 };
+
+/// A register-tile shape. The engine compiles one micro-kernel (and one
+/// pack-layout pair) per shape and selects between them at first use via
+/// function-pointer dispatch — see gemm_kernel.cpp and the tile-selection
+/// rule in blocking.cpp.
+struct TileDims {
+  index_t mr, nr;
+};
+constexpr bool operator==(TileDims a, TileDims b) {
+  return a.mr == b.mr && a.nr == b.nr;
+}
+
+/// The two compiled register-tile variants per scalar type. kWide is the
+/// historical shape (GemmBlocking<T>::MR x NR): tall tiles that keep 12+
+/// vector accumulators live, right for 256-bit+ SIMD with 16+ registers.
+/// kCompact halves MR and widens NR to 8: fewer, narrower accumulator
+/// columns for SSE-class machines (8/16 xmm registers) where the wide tile
+/// spills. Selection: HODLRX_GEMM_TILE=wide|compact wins; otherwise the
+/// probe picks kWide on AVX2/AVX-512 hosts and kCompact on narrower ones;
+/// HODLRX_AUTOTUNE=off pins kWide (the pre-adaptive behavior).
+template <typename T>
+struct GemmTiles {
+  static constexpr TileDims kWide{GemmBlocking<T>::MR, GemmBlocking<T>::NR};
+  static constexpr TileDims kCompact{GemmBlocking<T>::MR / 2, 8};
+};
+
+/// The tile the dispatcher resolved for T (== {resolved mr, nr}).
+template <typename T>
+TileDims gemm_selected_tile();
+
+/// "wide" or "compact" for the resolved tile (benches embed it in JSON).
+template <typename T>
+const char* gemm_selected_tile_name();
 
 /// Pack-event counters (relaxed atomics, process-wide). Used by tests to
 /// assert that batch-shared operands are packed exactly once per launch, and

@@ -1,0 +1,236 @@
+#include "common/hwinfo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define HODLRX_HAVE_CPUID 1
+#endif
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define HODLRX_HAVE_SYSCONF 1
+#endif
+
+namespace hodlrx {
+
+namespace {
+
+/// A cache level is plausible when it is a power-of-two-ish size in
+/// [4 KiB, 4 GiB); virtualized CPUID leaves occasionally report zeros.
+bool plausible(std::size_t bytes) {
+  return bytes >= (std::size_t{4} << 10) && bytes < (std::size_t{4} << 30);
+}
+
+#ifdef HODLRX_HAVE_CPUID
+
+/// Decode one subleaf of CPUID leaf 4 / 0x8000001D (identical layouts) into
+/// the matching HwInfo slot. Returns false on the terminating null type.
+bool decode_cache_subleaf(unsigned eax, unsigned ebx, unsigned ecx,
+                          HwInfo& hw) {
+  const unsigned type = eax & 0x1f;  // 0 = none, 1 = data, 2 = instr, 3 = uni
+  if (type == 0) return false;
+  const unsigned level = (eax >> 5) & 0x7;
+  const std::size_t ways = ((ebx >> 22) & 0x3ff) + 1;
+  const std::size_t partitions = ((ebx >> 12) & 0x3ff) + 1;
+  const std::size_t line = (ebx & 0xfff) + 1;
+  const std::size_t sets = static_cast<std::size_t>(ecx) + 1;
+  const std::size_t size = ways * partitions * line * sets;
+  if (type == 2) return true;  // instruction caches don't block GEMM tiles
+  if (hw.line_bytes == 0) hw.line_bytes = line;
+  if (level == 1) {
+    hw.l1d_bytes = size;
+    hw.l1d_assoc = static_cast<int>(ways);
+  } else if (level == 2) {
+    hw.l2_bytes = size;
+    hw.l2_assoc = static_cast<int>(ways);
+  } else if (level == 3) {
+    hw.l3_bytes = size;
+  }
+  return true;
+}
+
+/// CPUID rung: vendor + feature bits always, cache topology when leaf 4
+/// (or AMD's 0x8000001D mirror) is implemented. Returns true when the cache
+/// sizes were filled in.
+bool probe_cpuid(HwInfo& hw) {
+  unsigned eax, ebx, ecx, edx;
+  const unsigned max_leaf = __get_cpuid_max(0, nullptr);
+  if (max_leaf == 0) return false;
+  __cpuid(0, eax, ebx, ecx, edx);
+  std::memcpy(hw.vendor + 0, &ebx, 4);
+  std::memcpy(hw.vendor + 4, &edx, 4);
+  std::memcpy(hw.vendor + 8, &ecx, 4);
+  hw.vendor[12] = '\0';
+  if (max_leaf >= 1) {
+    __cpuid(1, eax, ebx, ecx, edx);
+    hw.sse2 = (edx >> 26) & 1;
+    hw.avx = (ecx >> 28) & 1;
+    hw.fma = (ecx >> 12) & 1;
+  }
+  if (max_leaf >= 7) {
+    __cpuid_count(7, 0, eax, ebx, ecx, edx);
+    hw.avx2 = (ebx >> 5) & 1;
+    hw.avx512f = (ebx >> 16) & 1;
+  }
+  bool got_caches = false;
+  if (max_leaf >= 4) {
+    for (unsigned sub = 0; sub < 64; ++sub) {
+      __cpuid_count(4, sub, eax, ebx, ecx, edx);
+      if (!decode_cache_subleaf(eax, ebx, ecx, hw)) break;
+      got_caches = true;
+    }
+  }
+  if (!plausible(hw.l1d_bytes)) {
+    // AMD parts leave leaf 4 empty; 0x8000001D has the same layout.
+    const unsigned max_ext = __get_cpuid_max(0x80000000, nullptr);
+    if (max_ext >= 0x8000001d) {
+      got_caches = false;
+      for (unsigned sub = 0; sub < 64; ++sub) {
+        __cpuid_count(0x8000001d, sub, eax, ebx, ecx, edx);
+        if (!decode_cache_subleaf(eax, ebx, ecx, hw)) break;
+        got_caches = true;
+      }
+    }
+  }
+  return got_caches && plausible(hw.l1d_bytes);
+}
+
+#endif  // HODLRX_HAVE_CPUID
+
+#ifdef HODLRX_HAVE_SYSCONF
+
+std::size_t sysconf_size(int name) {
+  const long v = sysconf(name);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+bool probe_sysconf(HwInfo& hw) {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  hw.l1d_bytes = sysconf_size(_SC_LEVEL1_DCACHE_SIZE);
+  hw.l2_bytes = sysconf_size(_SC_LEVEL2_CACHE_SIZE);
+  hw.l3_bytes = sysconf_size(_SC_LEVEL3_CACHE_SIZE);
+  if (hw.line_bytes == 0)
+    hw.line_bytes = sysconf_size(_SC_LEVEL1_DCACHE_LINESIZE);
+  {
+    const long a = sysconf(_SC_LEVEL1_DCACHE_ASSOC);
+    if (a > 0) hw.l1d_assoc = static_cast<int>(a);
+    const long a2 = sysconf(_SC_LEVEL2_CACHE_ASSOC);
+    if (a2 > 0) hw.l2_assoc = static_cast<int>(a2);
+  }
+  return plausible(hw.l1d_bytes);
+#else
+  (void)hw;
+  return false;
+#endif
+}
+
+#endif  // HODLRX_HAVE_SYSCONF
+
+/// Read a sysfs cache attribute ("32K", "2048K", "64", ...) as bytes.
+std::size_t read_sysfs_size(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (!f) return 0;
+  char buf[64] = {0};
+  const std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (got == 0) return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf, &end, 10);
+  if (end == buf) return 0;
+  std::size_t mul = 1;
+  if (end && (*end == 'K' || *end == 'k')) mul = 1024;
+  if (end && (*end == 'M' || *end == 'm')) mul = 1024 * 1024;
+  return static_cast<std::size_t>(v) * mul;
+}
+
+bool probe_sysfs(HwInfo& hw) {
+  bool any = false;
+  for (int idx = 0; idx < 8; ++idx) {
+    char path[128];
+    auto attr = [&](const char* name) {
+      std::snprintf(path, sizeof(path),
+                    "/sys/devices/system/cpu/cpu0/cache/index%d/%s", idx,
+                    name);
+      return path;
+    };
+    const std::size_t level = read_sysfs_size(attr("level"));
+    if (level == 0) break;
+    std::FILE* tf = std::fopen(attr("type"), "r");
+    char type[32] = {0};
+    if (tf) {
+      if (!std::fgets(type, sizeof(type), tf)) type[0] = '\0';
+      std::fclose(tf);
+    }
+    if (std::strncmp(type, "Instruction", 11) == 0) continue;
+    const std::size_t size = read_sysfs_size(attr("size"));
+    if (size == 0) continue;
+    any = true;
+    if (hw.line_bytes == 0)
+      hw.line_bytes = read_sysfs_size(attr("coherency_line_size"));
+    const std::size_t ways = read_sysfs_size(attr("ways_of_associativity"));
+    if (level == 1) {
+      hw.l1d_bytes = size;
+      hw.l1d_assoc = static_cast<int>(ways);
+    } else if (level == 2) {
+      hw.l2_bytes = size;
+      hw.l2_assoc = static_cast<int>(ways);
+    } else if (level == 3) {
+      hw.l3_bytes = size;
+    }
+  }
+  return any && plausible(hw.l1d_bytes);
+}
+
+const char* classify_family(const HwInfo& hw) {
+  if (hw.avx512f) return "x86-avx512";
+  if (hw.avx2 && hw.fma) return "x86-avx2";
+  if (hw.sse2) return "x86-sse";
+  return "generic";
+}
+
+}  // namespace
+
+HwInfo probe_hwinfo() {
+  HwInfo hw;
+#ifdef HODLRX_HAVE_CPUID
+  if (probe_cpuid(hw)) {
+    hw.source = "cpuid";
+  }
+#endif
+#ifdef HODLRX_HAVE_SYSCONF
+  if (std::strcmp(hw.source, "default") == 0 && probe_sysconf(hw))
+    hw.source = "sysconf";
+#endif
+  if (std::strcmp(hw.source, "default") == 0 && probe_sysfs(hw))
+    hw.source = "sysfs";
+  if (std::strcmp(hw.source, "default") == 0) {
+    // Nothing worked: conservative laptop-class defaults so the blocking
+    // model still produces sane (if untuned) values.
+    hw.l1d_bytes = std::size_t{32} << 10;
+    hw.l2_bytes = std::size_t{512} << 10;
+    hw.l3_bytes = std::size_t{8} << 20;
+  }
+  if (hw.line_bytes == 0) hw.line_bytes = 64;
+  if (!plausible(hw.l2_bytes) || hw.l2_bytes < hw.l1d_bytes)
+    hw.l2_bytes = std::max(hw.l1d_bytes * 8, std::size_t{256} << 10);
+  // A missing L3 stays 0 — the model treats that as "no shared level".
+#ifdef HODLRX_HAVE_SYSCONF
+  {
+    const long n = sysconf(_SC_NPROCESSORS_ONLN);
+    if (n > 0) hw.logical_cpus = static_cast<int>(n);
+  }
+#endif
+  hw.family = classify_family(hw);
+  return hw;
+}
+
+const HwInfo& hwinfo() {
+  static const HwInfo hw = probe_hwinfo();
+  return hw;
+}
+
+}  // namespace hodlrx

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file hwinfo.hpp
+/// Startup probe of the cache topology and SIMD capability the blocking
+/// model (blocking.hpp) derives its per-machine defaults from.
+///
+/// Probe order (first source that yields a plausible L1d wins, recorded in
+/// `source` so benches can report where the numbers came from):
+///   1. CPUID — leaf 4 (Intel deterministic cache parameters) or leaf
+///      0x8000001D (AMD) for per-level size/line/associativity, leaves 1/7
+///      for SSE2/AVX/FMA/AVX2/AVX-512F. x86 only.
+///   2. sysconf(_SC_LEVEL*_*CACHE_SIZE) — glibc's view of the same data.
+///   3. /sys/devices/system/cpu/cpu0/cache/index*/ — sysfs, for libcs whose
+///      sysconf does not forward the kernel's cacheinfo.
+///   4. Conservative defaults (32 KiB / 512 KiB / 8 MiB, 64-byte lines) so
+///      the model never sees zeros on exotic hosts.
+///
+/// The probe runs once per process (hwinfo()); probe_hwinfo() performs a
+/// fresh uncached probe for tests.
+
+namespace hodlrx {
+
+struct HwInfo {
+  std::size_t l1d_bytes = 0;   ///< per-core L1 data cache
+  std::size_t l2_bytes = 0;    ///< per-core (or per-CCX) unified L2
+  std::size_t l3_bytes = 0;    ///< last-level cache, 0 when absent/unknown
+  std::size_t line_bytes = 0;  ///< cache line (coherency granule)
+  int l1d_assoc = 0;           ///< L1d ways, 0 when unknown
+  int l2_assoc = 0;            ///< L2 ways, 0 when unknown
+  int logical_cpus = 1;        ///< online logical CPUs visible to us
+  bool sse2 = false;
+  bool avx = false;
+  bool fma = false;
+  bool avx2 = false;
+  bool avx512f = false;
+  char vendor[13] = {0};       ///< CPUID vendor string, "" off x86
+  /// Coarse machine family the tile/blocking model keys on:
+  /// "x86-avx512" | "x86-avx2" | "x86-sse" | "generic".
+  const char* family = "generic";
+  /// Which rung of the probe ladder produced the cache numbers:
+  /// "cpuid" | "sysconf" | "sysfs" | "default".
+  const char* source = "default";
+};
+
+/// The process-wide probe result (probed once, on first use; thread-safe).
+const HwInfo& hwinfo();
+
+/// Run the full probe ladder afresh (no caching). Tests use this to check
+/// the probe is deterministic; production code should call hwinfo().
+HwInfo probe_hwinfo();
+
+}  // namespace hodlrx

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <complex>
 
+#include "common/blocking.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/flops.hpp"
@@ -362,11 +363,6 @@ std::uint64_t blocked_qr_internal_flops(index_t m, index_t kmax,
   return total;
 }
 
-index_t qr_panel_nb() {
-  static const index_t nb = env_positive("HODLRX_QR_NB", 16, 1);
-  return nb;
-}
-
 template <typename T>
 void geqrf_panel(MatrixView<T> a, T* tau) {
   const index_t m = a.rows, n = a.cols;
@@ -472,7 +468,7 @@ void geqrf_inplace_impl(MatrixView<T> a, T* tau, bool parallel_update) {
   const index_t m = a.rows, n = a.cols;
   const index_t kmax = std::min(m, n);
   if (kmax == 0) return;
-  const index_t nb = qr_panel_nb();
+  const index_t nb = resolved_blocking<T>().qr_nb;
   if (kmax <= nb) {
     geqrf_panel(a, tau);
     add_geqrf_flops<T>(m, n, 0);
@@ -502,7 +498,7 @@ void thin_q_inplace_impl(MatrixView<T> a, const T* tau, bool parallel_update) {
   const index_t m = a.rows, k = a.cols;
   HODLRX_REQUIRE(k <= m, "thin_q_inplace: need cols <= rows");
   if (k == 0) return;
-  const index_t nb = qr_panel_nb();
+  const index_t nb = resolved_blocking<T>().qr_nb;
   if (k <= nb) {
     thin_q_panel(a, tau);
     add_thin_q_flops<T>(m, k, 0);

@@ -79,10 +79,10 @@ struct QRFactors {
   std::vector<T> tau;   ///< min(m, n) Householder scalars
 };
 
-/// Panel width of the blocked Householder drivers (geqrf_inplace,
-/// thin_q_inplace and the strided-batched QR engine). Read once from
-/// HODLRX_QR_NB; default 16.
-index_t qr_panel_nb();
+/// The panel width of the blocked Householder drivers (geqrf_inplace,
+/// thin_q_inplace and the strided-batched QR engine) comes from the shared
+/// blocking resolver: resolved_blocking<T>().qr_nb (blocking.hpp), i.e.
+/// HODLRX_QR_NB override > probed cache model > the static 16.
 
 /// Unblocked Householder QR, in place: R in the upper triangle, reflectors
 /// below the diagonal, `tau[0..min(m,n))` scalars. This is the panel kernel
@@ -114,7 +114,8 @@ void larft_forward(NoDeduce<ConstMatrixView<T>> v, const T* tau,
                    MatrixView<T> t);
 
 /// Blocked Householder QR, in place (same output layout as geqrf_panel):
-/// panels of qr_panel_nb() columns are factored unblocked, then the trailing
+/// panels of resolved_blocking<T>().qr_nb columns are factored unblocked,
+/// then the trailing
 /// matrix is updated with the compact-WY block reflector — three GEMMs that
 /// run through the packed engine instead of per-reflector strided loops.
 template <typename T>

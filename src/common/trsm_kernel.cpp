@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <complex>
 
-#include "common/env.hpp"
+#include "common/blocking.hpp"
 #include "common/error.hpp"
 #include "common/flops.hpp"
 #include "common/gemm_kernel.hpp"
@@ -130,13 +130,6 @@ void add_trsm_flops(index_t n, index_t nrhs) {
 }  // namespace
 
 template <typename T>
-const TrsmBlocking& trsm_blocking() {
-  static const TrsmBlocking p{
-      env_positive("HODLRX_TRSM_NB", index_t{64}, index_t{8})};
-  return p;
-}
-
-template <typename T>
 void trsm_left_reference(Uplo uplo, Diag diag,
                          NoDeduce<ConstMatrixView<T>> a, MatrixView<T> b) {
   const index_t n = a.rows;
@@ -169,7 +162,7 @@ template <typename T>
 void trsm_left_blocked(Uplo uplo, Diag diag, NoDeduce<ConstMatrixView<T>> a,
                        MatrixView<T> b) {
   const index_t n = a.rows;
-  const index_t nb = trsm_blocking<T>().nb;
+  const index_t nb = resolved_blocking<T>().trsm_nb;
   if (n <= nb) {
     trsm_left_reference<T>(uplo, diag, a, b);
     return;
@@ -224,7 +217,6 @@ void trsm_left_parallel(Uplo uplo, Diag diag, NoDeduce<ConstMatrixView<T>> a,
 }
 
 #define HODLRX_INSTANTIATE_TRSM_KERNEL(T)                                    \
-  template const TrsmBlocking& trsm_blocking<T>();                           \
   template void trsm_left_reference<T>(Uplo, Diag,                           \
                                        NoDeduce<ConstMatrixView<T>>,         \
                                        MatrixView<T>);                       \

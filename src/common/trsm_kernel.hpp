@@ -30,14 +30,10 @@
 
 namespace hodlrx {
 
-/// Diagonal-block size of the blocked triangular solves, overridable at
-/// runtime via HODLRX_TRSM_NB (read once per process; clamped to >= 8).
-/// Problems with n <= nb run the reference kernel unchanged.
-struct TrsmBlocking {
-  index_t nb;
-};
-template <typename T>
-const TrsmBlocking& trsm_blocking();
+/// The diagonal-block size comes from the shared blocking resolver
+/// (resolved_blocking<T>().trsm_nb, blocking.hpp): HODLRX_TRSM_NB override >
+/// probed cache model > the static 64 (clamped to >= 8). Problems with
+/// n <= nb run the reference kernel unchanged.
 
 /// The seed's unblocked column-at-a-time solve. Kept verbatim as the
 /// small-problem kernel, the cross-check oracle in tests, and the baseline

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "batched/batched_blas.hpp"
+#include "common/blocking.hpp"
 #include "common/gemm_kernel.hpp"
 #include "common/parallel.hpp"
 #include "common/trsm_kernel.hpp"
@@ -31,6 +32,10 @@ const bool g_env_ready = [] {
   setenv("HODLRX_TRSM_NB", "24", 1);
   setenv("HODLRX_GEMM_MC", "160", 1);
   setenv("HODLRX_NUM_THREADS", "4", 1);
+  // Pin the static rung: this binary asserts exact compiled defaults for
+  // the knobs it does NOT override, which the probed model would replace.
+  // The adaptive resolver has its own suite (test_blocking.cpp).
+  setenv("HODLRX_AUTOTUNE", "off", 1);
   return true;
 }();
 
@@ -57,7 +62,8 @@ TYPED_TEST_SUITE(TrsmKernelTyped, TrsmTypes);
 TYPED_TEST(TrsmKernelTyped, BlockedMatchesReferenceAllUploDiag) {
   using T = TypeParam;
   ASSERT_TRUE(g_env_ready);
-  ASSERT_EQ(trsm_blocking<T>().nb, 24) << "HODLRX_TRSM_NB override not seen";
+  ASSERT_EQ(resolved_blocking<T>().trsm_nb, 24)
+      << "HODLRX_TRSM_NB override not seen";
   const index_t shapes[] = {0, 1, 5, 23, 24, 25, 64, 150};
   const index_t widths[] = {1, 3, 4, 9, 33};
   std::uint64_t seed = 1000;
@@ -289,9 +295,9 @@ TEST(GemmParallelSharedA, PacksAOncePerLaunch) {
 /// numerics (tile offsets and consumers agree on the runtime values).
 TEST(RuntimeBlocking, GemmMcOverrideSeenAndCorrect) {
   ASSERT_TRUE(g_env_ready);
-  EXPECT_EQ(gemm_blocking<double>().mc, 160);
-  EXPECT_EQ(gemm_blocking<float>().mc, 160);
-  EXPECT_EQ(gemm_blocking<double>().kc, GemmBlocking<double>::KC)
+  EXPECT_EQ(resolved_blocking<double>().mc, 160);
+  EXPECT_EQ(resolved_blocking<float>().mc, 160);
+  EXPECT_EQ(resolved_blocking<double>().kc, GemmBlocking<double>::KC)
       << "unset vars must keep their compiled defaults";
   const index_t m = 200, n = 50, k = 333;  // m spans two 160-wide MC tiles
   Matrix<double> a = random_matrix<double>(m, k, 21);
