@@ -6,6 +6,7 @@
 
 #include "common/blocking.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/flops.hpp"
 #include "common/gemm_kernel.hpp"
 #include "common/parallel.hpp"
@@ -423,7 +424,7 @@ SvdBatchInfo jacobi_svd_strided_batched(T* a, index_t lda, index_t stride_a,
                                         index_t m, index_t n, real_t<T>* s,
                                         index_t stride_s, T* v, index_t ldv,
                                         index_t stride_v, index_t batch,
-                                        BatchPolicy policy) {
+                                        BatchPolicy policy, bool recover) {
   using R = real_t<T>;
   SvdBatchInfo info;
   if (batch == 0 || n == 0) return info;
@@ -447,7 +448,10 @@ SvdBatchInfo jacobi_svd_strided_batched(T* a, index_t lda, index_t stride_a,
   }
   svd_stats::detail::add_batched_sweep();
   const R tol = R{32} * eps_v<T>;
-  const int max_sweeps = svd_max_sweeps();
+  int max_sweeps = svd_max_sweeps();
+  // "svd.sweeps" fault: starve the synchronized loop so the batch cannot
+  // converge and the recovery re-run below must carry it.
+  if (fault::should_fire(fault::Site::kSvdSweeps)) max_sweeps = 1;
   // Per-launch Gram workspace (n x n per problem) carved from the calling
   // thread's arena and registered as device memory, like QrBatchWorkspace.
   // Only the sweep launches below touch it; it is dead by finalize time.
@@ -507,6 +511,40 @@ SvdBatchInfo jacobi_svd_strided_batched(T* a, index_t lda, index_t stride_a,
     std::erase_if(active,
                   [&](index_t i) { return !rotated[static_cast<std::size_t>(i)]; });
   }
+  if (!active.empty() && recover) {
+    // Recovery ladder: the stragglers are compacted out of the batch and
+    // finished one at a time through the reference serial sweep loop with a
+    // 4x budget, BEFORE the shared finalize pass below (finalize must see
+    // fully rotated factors). Healing happens in place, so the batch
+    // epilogue and the caller's layout are untouched.
+    const int budget = std::max(4 * svd_max_sweeps(), 64);
+    std::vector<index_t> still;
+    Matrix<T> gram(n, n);
+    for (const index_t i : active) {
+      MatrixView<T> wi{a + i * stride_a, m, n, lda};
+      MatrixView<T> vi{v + i * stride_v, n, n, ldv};
+      bool rot = true;
+      int sweeps = 0;
+      while (rot && sweeps < budget) {
+        gemm(Op::C, Op::N, T{1}, ConstMatrixView<T>(wi),
+             ConstMatrixView<T>(wi), T{0}, gram.view());
+        rot = jacobi_sweep_gram<T>(wi, vi, gram.view(), tol);
+        ++sweeps;
+      }
+      info.sweeps = std::max(info.sweeps, sweeps);
+      if (rot) {
+        still.push_back(i);
+      } else {
+        ++info.recovered;
+      }
+    }
+    // One recovery engagement per call (not per problem), so a single
+    // injected fault that starves the whole batch still balances to
+    // injected == recovered.
+    if (info.recovered > 0)
+      fault_stats::detail::add_recovered(fault::Site::kSvdSweeps);
+    active = std::move(still);
+  }
   if (!active.empty()) {
     info.nonconverged = static_cast<index_t>(active.size());
     svd_stats::detail::add_nonconverged(
@@ -560,7 +598,7 @@ SvdBatchInfo jacobi_svd_strided_batched(T* a, index_t lda, index_t stride_a,
                                           index_t, BatchPolicy);             \
   template SvdBatchInfo jacobi_svd_strided_batched<T>(                       \
       T*, index_t, index_t, index_t, index_t, real_t<T>*, index_t, T*,       \
-      index_t, index_t, index_t, BatchPolicy);
+      index_t, index_t, index_t, BatchPolicy, bool);
 
 HODLRX_INSTANTIATE_BATCHED(float)
 HODLRX_INSTANTIATE_BATCHED(double)

@@ -144,7 +144,8 @@ void thin_q_strided_batched(T* a, index_t lda, index_t stride_a, index_t m,
 /// HODLRX_REQUIREd in debug, like the serial driver).
 struct SvdBatchInfo {
   int sweeps = 0;
-  index_t nonconverged = 0;
+  index_t nonconverged = 0;  ///< problems still unconverged on return
+  index_t recovered = 0;     ///< problems healed by the recovery re-run
 };
 
 /// Batched one-sided Jacobi SVD of `batch` uniform TALL problems — the
@@ -165,11 +166,20 @@ struct SvdBatchInfo {
 /// normalizes every problem. Stream mode (few large problems) runs the
 /// problems sequentially through the blocked serial driver
 /// jacobi_svd_inplace.
+///
+/// With `recover = true` (the recovery ladder; rsvd_strided_batched under
+/// OnBreakdown::kRecover passes it) problems that exhaust the synchronized
+/// sweep budget are compacted out and re-run one by one through the
+/// reference serial sweep loop with a 4x budget BEFORE the finalize pass;
+/// healed problems are counted in SvdBatchInfo::recovered (and
+/// fault_stats::recovered). Only problems still unconverged after the
+/// re-run count as nonconverged / trip the debug assert.
 template <typename T>
 SvdBatchInfo jacobi_svd_strided_batched(T* a, index_t lda, index_t stride_a,
                                         index_t m, index_t n, real_t<T>* s,
                                         index_t stride_s, T* v, index_t ldv,
                                         index_t stride_v, index_t batch,
-                                        BatchPolicy policy = BatchPolicy::kAuto);
+                                        BatchPolicy policy = BatchPolicy::kAuto,
+                                        bool recover = false);
 
 }  // namespace hodlrx

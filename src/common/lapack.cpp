@@ -8,6 +8,7 @@
 #include "common/blocking.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/flops.hpp"
 #include "common/trsm_kernel.hpp"
 
@@ -189,11 +190,41 @@ void add_getrf_flops(index_t m, index_t n) {
     FlopCounter::instance().add(FlopCounter::kLu, lu - internal);
 }
 
+/// Largest |entry| of a view (the lu_stats growth scan).
+template <typename T>
+double max_abs_entry(MatrixView<T> a) {
+  double mx = 0;
+  for (index_t j = 0; j < a.cols; ++j) {
+    const T* col = a.data + j * a.ld;
+    for (index_t i = 0; i < a.rows; ++i)
+      mx = std::max(mx, static_cast<double>(abs_s(col[i])));
+  }
+  return mx;
+}
+
+/// RAII growth measurement around one LU: records max|LU| / max|A| when
+/// tracking is on, costs a single branch otherwise.
+template <typename T>
+class GrowthScan {
+ public:
+  explicit GrowthScan(MatrixView<T> a) : a_(a) {
+    if (lu_stats::detail::tracking()) before_ = max_abs_entry(a_);
+  }
+  ~GrowthScan() {
+    if (before_ > 0) lu_stats::detail::record_growth(max_abs_entry(a_) / before_);
+  }
+
+ private:
+  MatrixView<T> a_;
+  double before_ = 0;
+};
+
 }  // namespace
 
 template <typename T>
 void getrf(MatrixView<T> a, index_t* ipiv) {
   if (std::min(a.rows, a.cols) == 0) return;
+  GrowthScan<T> growth(a);
   getrf_blocked<T, false>(a, ipiv);
   add_getrf_flops<T>(a.rows, a.cols);
 }
@@ -201,6 +232,7 @@ void getrf(MatrixView<T> a, index_t* ipiv) {
 template <typename T>
 void getrf_parallel(MatrixView<T> a, index_t* ipiv) {
   if (std::min(a.rows, a.cols) == 0) return;
+  GrowthScan<T> growth(a);
   getrf_blocked<T, true>(a, ipiv);
   add_getrf_flops<T>(a.rows, a.cols);
 }
@@ -208,6 +240,9 @@ void getrf_parallel(MatrixView<T> a, index_t* ipiv) {
 template <typename T>
 void getrf_nopivot(MatrixView<T> a) {
   if (std::min(a.rows, a.cols) == 0) return;
+  HODLRX_REQUIRE(!fault::should_fire(fault::Site::kGetrfPivot),
+                 "getrf_nopivot: zero pivot at column 0 (injected fault)");
+  GrowthScan<T> growth(a);
   getrf_nopivot_blocked<T, false>(a);
   add_getrf_flops<T>(a.rows, a.cols);
 }
@@ -215,6 +250,9 @@ void getrf_nopivot(MatrixView<T> a) {
 template <typename T>
 void getrf_nopivot_parallel(MatrixView<T> a) {
   if (std::min(a.rows, a.cols) == 0) return;
+  HODLRX_REQUIRE(!fault::should_fire(fault::Site::kGetrfPivot),
+                 "getrf_nopivot: zero pivot at column 0 (injected fault)");
+  GrowthScan<T> growth(a);
   getrf_nopivot_blocked<T, true>(a);
   add_getrf_flops<T>(a.rows, a.cols);
 }
@@ -692,6 +730,32 @@ void add_sweep_launch() {
 }
 }  // namespace detail
 }  // namespace svd_stats
+
+namespace lu_stats {
+namespace {
+std::atomic<int> g_tracking{0};
+std::atomic<double> g_max_growth{0.0};
+}  // namespace
+double max_pivot_growth() {
+  return g_max_growth.load(std::memory_order_relaxed);
+}
+void reset() { g_max_growth.store(0.0, std::memory_order_relaxed); }
+ScopedTracking::ScopedTracking(bool enable) : enabled_(enable) {
+  if (enabled_) g_tracking.fetch_add(1, std::memory_order_relaxed);
+}
+ScopedTracking::~ScopedTracking() {
+  if (enabled_) g_tracking.fetch_sub(1, std::memory_order_relaxed);
+}
+namespace detail {
+bool tracking() { return g_tracking.load(std::memory_order_relaxed) > 0; }
+void record_growth(double ratio) {
+  double cur = g_max_growth.load(std::memory_order_relaxed);
+  while (ratio > cur && !g_max_growth.compare_exchange_weak(
+                            cur, ratio, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+}  // namespace lu_stats
 
 int svd_max_sweeps() {
   // Deliberately NOT cached in a static: one getenv per SVD call is noise,

@@ -236,6 +236,31 @@ void add_sweep_launch();
 }  // namespace detail
 }  // namespace svd_stats
 
+/// Pivot-growth tracking for the LU drivers (relaxed atomics, process-wide;
+/// the FactorReport's max_pivot_growth column). Tracking is OFF by default —
+/// the growth scan adds a full pass over every factored block — and is
+/// enabled ref-counted while a factorization collects a report.
+namespace lu_stats {
+/// Largest max|LU| / max|A| entry-growth ratio recorded since reset().
+double max_pivot_growth();
+void reset();
+/// RAII ref-counted enable; pass false for a no-op guard.
+class ScopedTracking {
+ public:
+  explicit ScopedTracking(bool enable);
+  ~ScopedTracking();
+  ScopedTracking(const ScopedTracking&) = delete;
+  ScopedTracking& operator=(const ScopedTracking&) = delete;
+
+ private:
+  bool enabled_;
+};
+namespace detail {  // hooks for the getrf drivers
+bool tracking();
+void record_growth(double ratio);
+}  // namespace detail
+}  // namespace lu_stats
+
 /// Sweep budget of every one-sided Jacobi driver. Read from
 /// HODLRX_SVD_SWEEPS through the shared env parser on EVERY call (not
 /// cached), so tests and long-running jobs can retune it; default 42.

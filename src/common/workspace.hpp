@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstddef>
+#include <new>
 #include <vector>
 
 #include "common/aligned.hpp"
 #include "common/config.hpp"
+#include "common/fault.hpp"
 
 /// \file workspace.hpp
 /// Per-thread scratch memory for the packed GEMM engine.
@@ -33,13 +35,30 @@ class WorkspaceArena {
   /// A buffer of at least `count` elements of T, aligned to kAlignment.
   /// Contents are unspecified; the buffer stays valid until the next get()
   /// on the same slot with a larger size.
+  ///
+  /// Growth is allocation-failure resilient: if the resize throws (real
+  /// memory pressure, or the HODLRX_FAULT=workspace.alloc injection site),
+  /// the arena releases EVERY slot it holds and retries once — packing
+  /// buffers hold no live data between calls, so dropping them is free and
+  /// usually returns enough memory for the retry to succeed.
   template <typename T>
   T* get(std::size_t count, Slot slot) {
     auto& buf = slots_[slot];
     const std::size_t bytes = count * sizeof(T);
     if (buf.size() < bytes) {
       buf.clear();  // don't copy old contents on growth
-      buf.resize(bytes);
+      try {
+        if (fault::should_fire(fault::Site::kWorkspaceAlloc))
+          throw std::bad_alloc();
+        buf.resize(bytes);
+      } catch (const std::bad_alloc&) {
+        for (auto& b : slots_) {
+          b.clear();
+          b.shrink_to_fit();
+        }
+        buf.resize(bytes);  // retry once; a second failure propagates
+        fault_stats::detail::add_recovered(fault::Site::kWorkspaceAlloc);
+      }
       ++grow_events_;
     }
     return reinterpret_cast<T*>(buf.data());

@@ -48,11 +48,28 @@ struct FactorEngine {
     return f;
   }
 
-  // Engine entry points (factor_serial.cpp / factor_batched.cpp).
-  static void run_factor_serial(F& f);
-  static void run_factor_batched(F& f);
+  // Engine entry points (factor_serial.cpp / factor_batched.cpp). The
+  // factor stages take the (optional) report for breakdown bookkeeping.
+  static void run_factor_serial(F& f, FactorReport* report);
+  static void run_factor_batched(F& f, FactorReport* report);
   static void run_solve_serial(const F& f, MatrixView<T> b);
   static void run_solve_batched(const F& f, MatrixView<T> b);
+
+  /// Lazily allocate the pivot storage a K level needs when its pivot-free
+  /// LU broke down and (some of) its blocks get re-factored with pivoting.
+  static void ensure_pivot_storage(LevelK& k) {
+    if (k.ipiv.empty())
+      k.ipiv.assign(static_cast<std::size_t>(k.count) * k.r2, 0);
+    if (k.pivoted.empty())
+      k.pivoted.assign(static_cast<std::size_t>(k.count), 0);
+  }
+
+  /// Whether block `k` of the level must be solved with pivots (either the
+  /// whole level uses the pivoted K form, or this block was individually
+  /// re-factored by the recovery ladder).
+  static bool block_pivoted(const LevelK& klev, bool pivoted, index_t k) {
+    return pivoted || (!klev.pivoted.empty() && klev.pivoted[k] != 0);
+  }
 
   // --- shared view helpers ------------------------------------------------
   static index_t depth(const F& f) { return f.tree_.depth(); }

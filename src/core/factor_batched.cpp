@@ -1,7 +1,10 @@
+#include <algorithm>
 #include <complex>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/parallel.hpp"
 #include "core/engine_detail.hpp"
 
@@ -20,7 +23,7 @@
 namespace hodlrx::detail {
 
 template <typename T>
-void FactorEngine<T>::run_factor_batched(F& f) {
+void FactorEngine<T>::run_factor_batched(F& f, FactorReport* report) {
   const ClusterTree& tree = f.tree_;
   const index_t L = depth(f);
   const BatchPolicy policy = f.opt_.policy;
@@ -129,8 +132,41 @@ void FactorEngine<T>::run_factor_batched(F& f) {
         std::vector<index_t*> piv(q);
         for (index_t k = 0; k < q; ++k) piv[k] = klev.pivots(k);
         getrf_batched<T>(kb, piv, policy);
-      } else {
+      } else if (f.opt_.on_breakdown == OnBreakdown::kThrow) {
         getrf_nopivot_batched<T>(kb, policy);
+      } else {
+        // Pivot-free batched LU can break down (exact zero pivot). A
+        // failure leaves the WHOLE level's blocks half-factored, so the
+        // recovery ladder snapshots the level, restores it and re-factors
+        // every block WITH pivoting in one batched call (the kb views stay
+        // valid — the data vector is copied into, not reassigned). Under
+        // kReport the breakdown is recorded and rethrown.
+        const std::vector<T> snap(klev.data);
+        try {
+          getrf_nopivot_batched<T>(kb, policy);
+        } catch (const Error& e) {
+          if (report != nullptr) {
+            ++report->lu_breakdowns;
+            report->events.push_back(
+                "factor: batched pivot-free LU broke down on level " +
+                std::to_string(l) + " (" + e.what() + ")");
+          }
+          if (f.opt_.on_breakdown != OnBreakdown::kRecover) throw;
+          std::copy(snap.begin(), snap.end(), klev.data.begin());
+          ensure_pivot_storage(klev);
+          std::vector<index_t*> piv(q);
+          for (index_t k = 0; k < q; ++k) piv[k] = klev.pivots(k);
+          getrf_batched<T>(kb, piv, policy);
+          std::fill(klev.pivoted.begin(), klev.pivoted.end(), 1);
+          fault_stats::detail::add_recovered(fault::Site::kGetrfPivot);
+          if (report != nullptr) {
+            report->lu_pivot_retries += q;
+            report->events.push_back(
+                "factor: level " + std::to_string(l) + " (" +
+                std::to_string(q) + " K block(s)) re-factored with partial "
+                "pivoting");
+          }
+        }
       }
     }
 
@@ -171,21 +207,26 @@ void FactorEngine<T>::run_factor_batched(F& f) {
       gemm_batched<T>(Op::C, Op::N, T{1}, av, bv, T{0}, cv, policy);
     }
 
-    // Line 9: batched K solve, one 2r x panel block per parent.
+    // Line 9: batched K solve, one 2r x panel block per parent. Blocks the
+    // recovery ladder re-factored with pivots are grouped into their own
+    // batched call (at most two launches per level).
     {
-      std::vector<ConstMatrixView<T>> lu(q);
-      std::vector<MatrixView<T>> rhs(q);
+      std::vector<ConstMatrixView<T>> lu_p, lu_n;
+      std::vector<const index_t*> piv_p;
+      std::vector<MatrixView<T>> rhs_p, rhs_n;
       for (index_t k = 0; k < q; ++k) {
-        lu[k] = klev.block(k);
-        rhs[k] = MatrixView<T>{wdata + 2 * k * r, r2, panel, ldw};
+        MatrixView<T> rhs{wdata + 2 * k * r, r2, panel, ldw};
+        if (block_pivoted(klev, pivoted, k)) {
+          lu_p.push_back(klev.block(k));
+          piv_p.push_back(klev.pivots(k));
+          rhs_p.push_back(rhs);
+        } else {
+          lu_n.push_back(klev.block(k));
+          rhs_n.push_back(rhs);
+        }
       }
-      if (pivoted) {
-        std::vector<const index_t*> piv(q);
-        for (index_t k = 0; k < q; ++k) piv[k] = klev.pivots(k);
-        getrs_batched<T>(lu, piv, rhs, policy);
-      } else {
-        getrs_nopivot_batched<T>(lu, rhs, policy);
-      }
+      if (!lu_p.empty()) getrs_batched<T>(lu_p, piv_p, rhs_p, policy);
+      if (!lu_n.empty()) getrs_nopivot_batched<T>(lu_n, rhs_n, policy);
     }
 
     // Line 10: prefix update, one block per child (solution order is
@@ -300,21 +341,25 @@ void FactorEngine<T>::run_solve_batched(const F& f, MatrixView<T> x) {
       gemm_batched<T>(Op::C, Op::N, T{1}, av, bv, T{0}, cv, policy);
     }
 
-    // Line 5: batched K solve.
+    // Line 5: batched K solve (recovered-pivoted blocks grouped into their
+    // own batched call, as in the factorization stage).
     {
-      std::vector<ConstMatrixView<T>> lu(q);
-      std::vector<MatrixView<T>> rhs(q);
+      std::vector<ConstMatrixView<T>> lu_p, lu_n;
+      std::vector<const index_t*> piv_p;
+      std::vector<MatrixView<T>> rhs_p, rhs_n;
       for (index_t k = 0; k < q; ++k) {
-        lu[k] = klev.block(k);
-        rhs[k] = MatrixView<T>{wdata + 2 * k * r, r2, nrhs, ldw};
+        MatrixView<T> rhs{wdata + 2 * k * r, r2, nrhs, ldw};
+        if (block_pivoted(klev, pivoted, k)) {
+          lu_p.push_back(klev.block(k));
+          piv_p.push_back(klev.pivots(k));
+          rhs_p.push_back(rhs);
+        } else {
+          lu_n.push_back(klev.block(k));
+          rhs_n.push_back(rhs);
+        }
       }
-      if (pivoted) {
-        std::vector<const index_t*> piv(q);
-        for (index_t k = 0; k < q; ++k) piv[k] = klev.pivots(k);
-        getrs_batched<T>(lu, piv, rhs, policy);
-      } else {
-        getrs_nopivot_batched<T>(lu, rhs, policy);
-      }
+      if (!lu_p.empty()) getrs_batched<T>(lu_p, piv_p, rhs_p, policy);
+      if (!lu_n.empty()) getrs_nopivot_batched<T>(lu_n, rhs_n, policy);
     }
 
     // Line 6: x^{l+1} -= Y^{l+1} (.) w^{l+1}.
@@ -339,7 +384,7 @@ void FactorEngine<T>::run_solve_batched(const F& f, MatrixView<T> x) {
 
 #define HODLRX_INSTANTIATE_BATCHED_ENGINE(T)                              \
   template void FactorEngine<T>::run_factor_batched(                     \
-      HodlrFactorization<T>&);                                           \
+      HodlrFactorization<T>&, FactorReport*);                            \
   template void FactorEngine<T>::run_solve_batched(                      \
       const HodlrFactorization<T>&, MatrixView<T>);
 

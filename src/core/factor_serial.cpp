@@ -1,6 +1,10 @@
+#include <algorithm>
 #include <complex>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "core/engine_detail.hpp"
 
 /// \file factor_serial.cpp
@@ -13,7 +17,7 @@
 namespace hodlrx::detail {
 
 template <typename T>
-void FactorEngine<T>::run_factor_serial(F& f) {
+void FactorEngine<T>::run_factor_serial(F& f, FactorReport* report) {
   const ClusterTree& tree = f.tree_;
   const index_t L = depth(f);
   MatrixView<T> ybig = f.ybig_;
@@ -60,7 +64,40 @@ void FactorEngine<T>::run_factor_serial(F& f) {
         gemm(Op::C, Op::N, T{1}, vb, yb, T{0}, kk.block(0, r, r, r));
         gemm(Op::C, Op::N, T{1}, va, ya, T{0}, kk.block(r, 0, r, r));
         fill_k_identities(kk, r, KForm::kIdentityDiagonal);
-        getrf_nopivot(kk);
+        if (f.opt_.on_breakdown == OnBreakdown::kThrow) {
+          getrf_nopivot(kk);
+        } else {
+          // Pivot-free LU can break down (exact zero pivot). Snapshot the
+          // assembled K so the recovery ladder can re-factor it WITH
+          // pivoting; under kReport a failed LU has no usable state, so the
+          // breakdown is recorded and rethrown.
+          const T* src = klev.data.data() + k * klev.r2 * klev.r2;
+          std::vector<T> snap(src, src + klev.r2 * klev.r2);
+          try {
+            getrf_nopivot(kk);
+          } catch (const Error& e) {
+            if (report != nullptr) {
+              ++report->lu_breakdowns;
+              report->events.push_back(
+                  "factor: pivot-free LU broke down on K block " +
+                  std::to_string(k) + " of level " + std::to_string(l) +
+                  " (" + e.what() + ")");
+            }
+            if (f.opt_.on_breakdown != OnBreakdown::kRecover) throw;
+            std::copy(snap.begin(), snap.end(),
+                      klev.data.data() + k * klev.r2 * klev.r2);
+            ensure_pivot_storage(klev);
+            getrf(kk, klev.pivots(k));
+            klev.pivoted[k] = 1;
+            fault_stats::detail::add_recovered(fault::Site::kGetrfPivot);
+            if (report != nullptr) {
+              ++report->lu_pivot_retries;
+              report->events.push_back(
+                  "factor: K block " + std::to_string(k) + " of level " +
+                  std::to_string(l) + " re-factored with partial pivoting");
+            }
+          }
+        }
       }
 
       if (panel == 0) continue;  // level 0: no prefix to update
@@ -79,7 +116,10 @@ void FactorEngine<T>::run_factor_serial(F& f) {
              wv.block(0, 0, r, panel));
         gemm(Op::C, Op::N, T{1}, va, ConstMatrixView<T>(ya_pre), T{0},
              wv.block(r, 0, r, panel));
-        getrs_nopivot(ConstMatrixView<T>(kk), wv);
+        if (block_pivoted(klev, /*pivoted=*/false, k))
+          getrs(ConstMatrixView<T>(kk), klev.pivots(k), wv);
+        else
+          getrs_nopivot(ConstMatrixView<T>(kk), wv);
       }
       // Update (14); the solution rows are [w_a; w_b] in both forms.
       gemm(Op::N, Op::N, T{-1}, ya, ConstMatrixView<T>(wv.block(0, 0, r, panel)),
@@ -139,7 +179,10 @@ void FactorEngine<T>::run_solve_serial(const F& f, MatrixView<T> x) {
              wv.block(0, 0, r, nrhs));
         gemm(Op::C, Op::N, T{1}, va, ConstMatrixView<T>(xa), T{0},
              wv.block(r, 0, r, nrhs));
-        getrs_nopivot(klev.block(k), wv);
+        if (block_pivoted(klev, /*pivoted=*/false, k))
+          getrs(klev.block(k), klev.pivots(k), wv);
+        else
+          getrs_nopivot(klev.block(k), wv);
       }
       gemm(Op::N, Op::N, T{-1}, ya, ConstMatrixView<T>(wv.block(0, 0, r, nrhs)),
            T{1}, xa);
@@ -151,7 +194,7 @@ void FactorEngine<T>::run_solve_serial(const F& f, MatrixView<T> x) {
 
 #define HODLRX_INSTANTIATE_SERIAL(T)                                     \
   template void FactorEngine<T>::run_factor_serial(                      \
-      HodlrFactorization<T>&);                                           \
+      HodlrFactorization<T>&, FactorReport*);                            \
   template void FactorEngine<T>::run_solve_serial(                       \
       const HodlrFactorization<T>&, MatrixView<T>);
 

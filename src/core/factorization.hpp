@@ -28,11 +28,33 @@ class HodlrFactorization {
   /// Factor the packed HODLR matrix. Simulates the paper's workflow: the
   /// packed data is "copied to the device" (transfer recorded), then
   /// factorized in place on the device.
+  ///
+  /// Breakdown handling follows opt.on_breakdown: a zero pivot in the
+  /// pivot-free K form (KForm::kIdentityDiagonal) throws under kThrow (the
+  /// pre-resilience behavior), is recovered under kRecover by re-factoring
+  /// the affected K block(s) WITH partial pivoting (the solves then
+  /// dispatch per block), and is recorded-then-rethrown under kReport (a
+  /// failed LU leaves no usable factor). A non-null `report` additionally
+  /// enables pivot-growth tracking (max_pivot_growth) and — with
+  /// HODLRX_CHECK_FINITE — a NaN/Inf scan of the factors.
   static HodlrFactorization factor(const PackedHodlr<T>& packed,
-                                   const FactorOptions& opt = {});
+                                   const FactorOptions& opt = {},
+                                   FactorReport* report = nullptr);
 
   /// Solve A x = b in place for any number of RHS columns (b: n x nrhs).
   void solve_inplace(MatrixView<T> b) const;
+
+  /// solve_inplace plus a true-residual check against the compressed
+  /// operator `a` (the matrix this factorization came from). If the
+  /// relative residual exceeds `tol`, the breakdown policy of the
+  /// factorization's options applies: kThrow throws, kReport records, and
+  /// kRecover runs HODLR-preconditioned GMRES refinement per column (this
+  /// factorization as the left preconditioner — the paper's "robust
+  /// preconditioner" role), reusing the direct solution as the initial
+  /// guess. The returned report carries the final residual, whether
+  /// refinement engaged, and the GMRES iteration count.
+  SolveReport solve_checked(const HodlrMatrix<T>& a, MatrixView<T> b,
+                            double tol = 1e-10) const;
 
   /// Out-of-place convenience solve.
   Matrix<T> solve(ConstMatrixView<T> b) const {
@@ -69,6 +91,11 @@ class HodlrFactorization {
     index_t count = 0;
     std::vector<T> data;
     std::vector<index_t> ipiv;  ///< empty for the pivot-free K form
+    /// Per-block recovery flags (kIdentityDiagonal only): 1 marks a block
+    /// whose pivot-free LU broke down and was re-factored WITH pivoting;
+    /// the solves dispatch getrs vs getrs_nopivot per block. Empty (the
+    /// common case) means every block follows the level's K form.
+    std::vector<char> pivoted;
 
     MatrixView<T> block(index_t k) {
       return {data.data() + k * r2 * r2, r2, r2, r2};

@@ -1,10 +1,12 @@
 #include "core/hodlr.hpp"
 
 #include <complex>
+#include <string>
 #include <vector>
 
 #include "common/aligned.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/parallel.hpp"
 #include "device/device.hpp"
 #include "lowrank/aca.hpp"
@@ -14,6 +16,45 @@
 namespace hodlrx {
 
 namespace {
+
+/// Fold a batched-rsvd sweep's breakdown counters into the report.
+/// RsvdBreakdowns counts healed and un-healed problems separately; the
+/// report's svd_nonconverged column counts every problem that exhausted the
+/// budget (healed or not), svd_recovered the healed subset.
+void fold_rsvd_breakdowns(const RsvdBreakdowns& bd, FactorReport* report) {
+  if (report == nullptr) return;
+  if (bd.svd_nonconverged == 0 && bd.svd_recovered == 0) return;
+  report->svd_nonconverged += bd.svd_nonconverged + bd.svd_recovered;
+  report->svd_recovered += bd.svd_recovered;
+  report->events.push_back(
+      "build: batched svd exhausted its sweep budget on " +
+      std::to_string(bd.svd_nonconverged + bd.svd_recovered) +
+      " problem(s), " + std::to_string(bd.svd_recovered) +
+      " recovered by the serial re-run");
+}
+
+/// HODLRX_CHECK_FINITE scan of the compressed representation (leaves and
+/// low-rank bases) at the end of build.
+template <typename T>
+void scan_build_finite(HodlrMatrix<T>& h, OnBreakdown policy,
+                       FactorReport* report) {
+  if (!check_finite_enabled()) return;
+  index_t bad = 0;
+  for (index_t j = 0; j < h.tree().num_leaves(); ++j)
+    bad += count_nonfinite(ConstMatrixView<T>(h.leaf_block(j)));
+  for (index_t nu = 1; nu < h.tree().num_nodes(); ++nu) {
+    bad += count_nonfinite(ConstMatrixView<T>(h.u(nu)));
+    bad += count_nonfinite(ConstMatrixView<T>(h.v(nu)));
+  }
+  if (bad == 0) return;
+  if (report != nullptr) {
+    report->nonfinite_values += bad;
+    report->events.push_back("build: " + std::to_string(bad) +
+                             " non-finite value(s) after compression");
+  }
+  HODLRX_REQUIRE(policy != OnBreakdown::kThrow,
+                 "build: " << bad << " non-finite value(s) after compression");
+}
 
 /// Size of every node at `level` when the level is UNIFORM (equal sizes,
 /// contiguous index ranges — the layout the strided-batched sweeps need);
@@ -70,8 +111,12 @@ template <typename T>
 HodlrMatrix<T> build_from_dense_rsvd(ConstMatrixView<T> a,
                                      const ClusterTree& tree,
                                      const BuildOptions& opt,
-                                     HodlrMatrix<T>&& h) {
+                                     HodlrMatrix<T>&& h,
+                                     FactorReport* report) {
   RsvdOptions ropt = rsvd_options(opt);
+  RsvdBreakdowns bd;
+  ropt.on_breakdown = opt.on_breakdown;
+  ropt.breakdowns = &bd;
   for (index_t level = 1; level <= tree.depth(); ++level) {
     const index_t begin = ClusterTree::level_begin(level);
     const index_t count = ClusterTree::nodes_at_level(level);
@@ -109,6 +154,8 @@ HodlrMatrix<T> build_from_dense_rsvd(ConstMatrixView<T> a,
     const ClusterNode& c = tree.node(tree.leaf(j));
     h.leaf_block(j) = to_matrix(a.block(c.begin, c.begin, c.size(), c.size()));
   });
+  fold_rsvd_breakdowns(bd, report);
+  scan_build_finite(h, opt.on_breakdown, report);
   return std::move(h);
 }
 
@@ -126,8 +173,12 @@ template <typename T>
 HodlrMatrix<T> build_from_generator_rsvd(const MatrixGenerator<T>& g,
                                          const ClusterTree& tree,
                                          const BuildOptions& opt,
-                                         HodlrMatrix<T>&& h) {
+                                         HodlrMatrix<T>&& h,
+                                         FactorReport* report) {
   RsvdOptions ropt = rsvd_options(opt);
+  RsvdBreakdowns bd;
+  ropt.on_breakdown = opt.on_breakdown;
+  ropt.breakdowns = &bd;
   std::vector<T, AlignedAllocator<T>> ws;
   DeviceAllocation ws_mem;
   for (index_t level = 1; level <= tree.depth(); ++level) {
@@ -179,6 +230,8 @@ HodlrMatrix<T> build_from_generator_rsvd(const MatrixGenerator<T>& g,
     h.leaf_block(j) = Matrix<T>(c.size(), c.size());
     g.fill_block(c.begin, c.begin, h.leaf_block(j));
   });
+  fold_rsvd_breakdowns(bd, report);
+  scan_build_finite(h, opt.on_breakdown, report);
   return std::move(h);
 }
 
@@ -187,7 +240,8 @@ HodlrMatrix<T> build_from_generator_rsvd(const MatrixGenerator<T>& g,
 template <typename T>
 HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
                                      const ClusterTree& tree,
-                                     const BuildOptions& opt) {
+                                     const BuildOptions& opt,
+                                     FactorReport* report) {
   HODLRX_REQUIRE(g.rows() == tree.n() && g.cols() == tree.n(),
                  "build: generator is " << g.rows() << "x" << g.cols()
                                         << " but tree has n=" << tree.n());
@@ -198,7 +252,7 @@ HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
   h.leaf_d_.resize(tree.num_leaves());
 
   if (opt.compressor == Compressor::kRsvdBatched)
-    return build_from_generator_rsvd<T>(g, tree, opt, std::move(h));
+    return build_from_generator_rsvd<T>(g, tree, opt, std::move(h), report);
 
   AcaOptions aopt;
   aopt.tol = opt.tol;
@@ -219,6 +273,9 @@ HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
   const index_t num_offdiag = tree.num_nodes() - 1;
   const index_t num_leaves = tree.num_leaves();
   std::vector<std::string> errors(num_offdiag + num_leaves);
+  // Per-task stall flags, resolved serially after the loop (the recovery
+  // ladder re-compresses stalled blocks; see below).
+  std::vector<char> stalled(num_offdiag, 0);
   parallel_for(num_offdiag + num_leaves, [&](index_t task) {
     try {
       if (task < num_offdiag) {
@@ -228,10 +285,12 @@ HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
         const ClusterNode& colc = tree.node(sib);
         AcaResult<T> res = aca(g, rowc.begin, colc.begin, rowc.size(),
                                colc.size(), aopt);
-        HODLRX_REQUIRE(res.converged,
-                       "ACA did not converge on block (" << nu << ", " << sib
-                                                         << ")");
-        if (opt.recompress && res.factor.rank() > 0 &&
+        if (opt.on_breakdown == OnBreakdown::kThrow)
+          HODLRX_REQUIRE(res.converged,
+                         "ACA did not converge on block (" << nu << ", " << sib
+                                                           << ")");
+        if (!res.converged) stalled[task] = 1;
+        if (res.converged && opt.recompress && res.factor.rank() > 0 &&
             !level_batched[ClusterTree::level_of(nu)])
           recompress(res.factor, static_cast<real_t<T>>(opt.tol),
                      opt.max_rank);
@@ -250,6 +309,63 @@ HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
   });
   for (const auto& e : errors)
     HODLRX_REQUIRE(e.empty(), "HodlrMatrix::build failed: " << e);
+  // Recovery ladder for stalled / non-converged ACA blocks: materialize the
+  // block (it never formed during the cross search) and re-compress it
+  // through the batched rsvd pipeline, so a stall in the entry-sampling
+  // compressor cannot poison the representation. The sketch starts near the
+  // rank ACA achieved and doubles until the truncated rank falls below the
+  // sketch width (the tol tail was captured) — a full min(m, n)-wide sketch
+  // on a large block would be an O(n^3) retry. Under kReport the
+  // achieved-rank factor is kept and only recorded.
+  RsvdBreakdowns bd;
+  for (index_t task = 0; task < num_offdiag; ++task) {
+    if (!stalled[task]) continue;
+    const index_t nu = first + task;
+    const index_t sib = ClusterTree::sibling(nu);
+    const ClusterNode& rowc = tree.node(nu);
+    const ClusterNode& colc = tree.node(sib);
+    if (report != nullptr) {
+      ++report->aca_stalls;
+      report->events.push_back(
+          "build: aca stalled on block (" + std::to_string(nu) + ", " +
+          std::to_string(sib) + ") at rank " +
+          std::to_string(h.u_[nu].cols()));
+    }
+    if (opt.on_breakdown != OnBreakdown::kRecover) continue;
+    Matrix<T> block(rowc.size(), colc.size());
+    g.fill_block(rowc.begin, colc.begin, block);
+    const index_t minmn = std::min(rowc.size(), colc.size());
+    index_t sketch =
+        opt.max_rank > 0
+            ? std::min<index_t>(opt.max_rank, minmn)
+            : std::min<index_t>(
+                  minmn, std::max<index_t>(64, 2 * h.u_[nu].cols()));
+    RsvdOptions ropt;
+    ropt.oversampling = opt.rsvd_oversampling;
+    ropt.power_iterations = std::max(opt.rsvd_power_iterations, 2);
+    ropt.tol = opt.tol;
+    ropt.seed = opt.seed + static_cast<std::uint64_t>(nu);
+    ropt.on_breakdown = opt.on_breakdown;
+    ropt.breakdowns = &bd;
+    for (;;) {
+      ropt.rank = sketch;
+      auto fs = rsvd_strided_batched<T>(block.data(), block.rows(), 0,
+                                        block.rows(), block.cols(), 1, ropt);
+      const bool captured = fs[0].u.cols() < sketch;  // tol tail reached
+      h.u_[nu] = std::move(fs[0].u);
+      h.v_[sib] = std::move(fs[0].v);
+      if (opt.max_rank > 0 || captured || sketch >= minmn) break;
+      sketch = std::min<index_t>(minmn, 2 * sketch);
+    }
+    fault_stats::detail::add_recovered(fault::Site::kAcaStall);
+    if (report != nullptr) {
+      ++report->aca_retries;
+      report->events.push_back(
+          "build: block (" + std::to_string(nu) + ", " + std::to_string(sib) +
+          ") re-compressed via rsvd to rank " + std::to_string(h.u_[nu].cols()));
+    }
+  }
+  fold_rsvd_breakdowns(bd, report);
   // Batched re-truncation of every uniform level: all of the level's s x s
   // blocks (both sibling sides) share one recompress_batched sweep.
   for (index_t level = 1; level <= tree.depth(); ++level) {
@@ -270,13 +386,15 @@ HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
       h.v_[ClusterTree::sibling(nu)] = std::move(fs[static_cast<std::size_t>(t)].v);
     }
   }
+  scan_build_finite(h, opt.on_breakdown, report);
   return h;
 }
 
 template <typename T>
 HodlrMatrix<T> HodlrMatrix<T>::build_from_dense(ConstMatrixView<T> a,
                                                 const ClusterTree& tree,
-                                                const BuildOptions& opt) {
+                                                const BuildOptions& opt,
+                                                FactorReport* report) {
   HODLRX_REQUIRE(a.rows == tree.n() && a.cols == tree.n(),
                  "build_from_dense: matrix is " << a.rows << "x" << a.cols
                                                 << " but tree has n="
@@ -287,10 +405,10 @@ HodlrMatrix<T> HodlrMatrix<T>::build_from_dense(ConstMatrixView<T> a,
     h.u_.resize(tree.num_nodes());
     h.v_.resize(tree.num_nodes());
     h.leaf_d_.resize(tree.num_leaves());
-    return build_from_dense_rsvd<T>(a, tree, opt, std::move(h));
+    return build_from_dense_rsvd<T>(a, tree, opt, std::move(h), report);
   }
   DenseGenerator<T> g(to_matrix(a));
-  return build(g, tree, opt);
+  return build(g, tree, opt, report);
 }
 
 template <typename T>

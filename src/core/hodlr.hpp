@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/options.hpp"
+#include "core/report.hpp"
 #include "lowrank/generator.hpp"
 #include "lowrank/lowrank.hpp"
 #include "tree/cluster_tree.hpp"
@@ -30,8 +31,16 @@ class HodlrMatrix {
   /// compressed in one batched randomized-SVD sweep — the full matrix is
   /// NEVER formed (generator_stats counter-asserts this), so kernel-defined
   /// BIE problems get the batched device path too (requires max_rank > 0).
+  ///
+  /// Breakdown handling follows opt.on_breakdown: an ACA stall is retried
+  /// through a (batched) rsvd of the materialized block under kRecover,
+  /// kept at the achieved rank under kReport, and thrown under kThrow (the
+  /// pre-resilience behavior). A non-null `report` collects per-stage
+  /// breakdown counters, recovery actions and — with HODLRX_CHECK_FINITE —
+  /// a NaN/Inf scan of the compressed representation.
   static HodlrMatrix build(const MatrixGenerator<T>& g, const ClusterTree& tree,
-                           const BuildOptions& opt = {});
+                           const BuildOptions& opt = {},
+                           FactorReport* report = nullptr);
 
   /// Compress a dense matrix. With the default Compressor::kAca this wraps
   /// `build` over a dense generator; with Compressor::kRsvdBatched every
@@ -40,7 +49,8 @@ class HodlrMatrix {
   /// layer's stride-0 pack-once fast path; requires opt.max_rank > 0).
   static HodlrMatrix build_from_dense(ConstMatrixView<T> a,
                                       const ClusterTree& tree,
-                                      const BuildOptions& opt = {});
+                                      const BuildOptions& opt = {},
+                                      FactorReport* report = nullptr);
 
   const ClusterTree& tree() const { return tree_; }
   index_t n() const { return tree_.n(); }

@@ -4,6 +4,7 @@
 
 #include "batched/batched_blas.hpp"
 #include "common/config.hpp"
+#include "common/fault.hpp"
 
 /// \file options.hpp
 /// Option structs for HODLR construction and factorization.
@@ -48,6 +49,9 @@ struct BuildOptions {
   Compressor compressor = Compressor::kAca;
   index_t rsvd_oversampling = 8;  ///< extra sketch columns (kRsvdBatched)
   int rsvd_power_iterations = 1;  ///< subspace iterations (kRsvdBatched)
+  /// Breakdown policy for the compression stage (ACA stall, batched-SVD
+  /// sweep exhaustion): recover by default, see OnBreakdown (fault.hpp).
+  OnBreakdown on_breakdown = OnBreakdown::kRecover;
 };
 
 /// Factorization options.
@@ -55,6 +59,9 @@ struct FactorOptions {
   ExecMode mode = ExecMode::kBatched;
   KForm kform = KForm::kPivoted;
   BatchPolicy policy = BatchPolicy::kAuto;
+  /// Breakdown policy for the factorization and checked-solve stages (zero
+  /// pivot in the identity-diagonal K form, failed residual check).
+  OnBreakdown on_breakdown = OnBreakdown::kRecover;
 };
 
 }  // namespace hodlrx

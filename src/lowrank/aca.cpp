@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace hodlrx {
 
@@ -51,8 +52,23 @@ AcaResult<T> aca(const MatrixGenerator<T>& g, index_t row0, index_t col0,
   R frob2 = 0;  // running ||A_k||_F^2 estimate
   index_t next_row = 0;
   bool converged = false;
+  const bool inject_stall = fault::should_fire(fault::Site::kAcaStall);
+
+  // Iteration guard: each pass either adds a cross or burns an unused row
+  // (the zero-delta `continue` / restart paths), so a block riddled with
+  // (near-)zero generator rows cannot cycle past O(min(m, n)) passes. When
+  // the guard trips, the achieved-rank factor is returned with `stalled`
+  // set instead of looping or throwing.
+  const index_t max_passes = 2 * std::min(m, n) + 16;
+  index_t passes = 0;
 
   while (static_cast<index_t>(us.size()) < rmax) {
+    if (++passes > max_passes ||
+        (inject_stall && static_cast<index_t>(us.size()) >=
+                             std::min<index_t>(2, rmax - 1))) {
+      out.stalled = true;
+      break;
+    }
     // --- residual row at next_row -----------------------------------------
     index_t i = next_row;
     if (i < 0 || i >= m || row_used[i]) {
@@ -170,7 +186,7 @@ AcaResult<T> aca(const MatrixGenerator<T>& g, index_t row0, index_t col0,
     std::copy(vs[k].begin(), vs[k].end(), out.factor.v.data() + k * n);
   }
   // Hitting the cap is still "converged" when the cap equals full rank.
-  out.converged = converged || rmax == std::min(m, n);
+  out.converged = !out.stalled && (converged || rmax == std::min(m, n));
   return out;
 }
 

@@ -22,6 +22,11 @@ template <typename T>
 struct AcaResult {
   LowRankFactor<T> factor;
   bool converged = true;  ///< false when max_rank was hit before tol
+  /// True when the cross search stagnated (the iteration guard tripped on a
+  /// run of near-zero pivot rows, or the "aca.stall" fault fired) before the
+  /// tolerance or the rank cap was reached. The factor still holds the
+  /// achieved-rank approximation; stalled implies !converged.
+  bool stalled = false;
 };
 
 /// Compress the sub-block [row0, row0+m) x [col0, col0+n) of `g`.

@@ -191,9 +191,14 @@ std::vector<LowRankFactor<T>> rsvd_strided_batched(const T* a, index_t lda,
   // Zero per-block SVD pool tasks (svd_stats::serial_svds stays flat).
   std::vector<R> sig(static_cast<std::size_t>(l) * batch);
   Matrix<T> w(l, l * batch);
-  jacobi_svd_strided_batched<T>(bh.data(), n, n * l, n, l, sig.data(), l,
-                                w.data(), l, l * l, batch,
-                                BatchPolicy::kForceBatched);
+  const SvdBatchInfo svd_info = jacobi_svd_strided_batched<T>(
+      bh.data(), n, n * l, n, l, sig.data(), l, w.data(), l, l * l, batch,
+      BatchPolicy::kForceBatched,
+      /*recover=*/opt.on_breakdown == OnBreakdown::kRecover);
+  if (opt.breakdowns != nullptr) {
+    opt.breakdowns->svd_nonconverged += svd_info.nonconverged;
+    opt.breakdowns->svd_recovered += svd_info.recovered;
+  }
   // Shared truncation epilogue: truncate_rank per problem, S folded into
   // W_ik, ONE strided U_i = Q_i W_ik S_ik launch, batched copy-out.
   truncated_products_batched<T>(y.data(), m, bh.data(), n, w.data(), l,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "common/fault.hpp"
 #include "common/lapack.hpp"
 #include "lowrank/lowrank.hpp"
 
@@ -11,12 +12,23 @@
 
 namespace hodlrx {
 
+/// Breakdown counters a batched rsvd sweep hands back to its caller (wired
+/// into the FactorReport by HodlrMatrix::build).
+struct RsvdBreakdowns {
+  index_t svd_nonconverged = 0;  ///< problems past the budget, NOT healed
+  index_t svd_recovered = 0;     ///< problems healed by the serial re-run
+};
+
 struct RsvdOptions {
   index_t rank = 0;          ///< target rank (before truncation)
   index_t oversampling = 8;  ///< extra sketch columns
   int power_iterations = 1;  ///< q in (A A^H)^q A
   std::uint64_t seed = 11;
   double tol = 0;            ///< if > 0, truncate singular values < tol*s[0]
+  /// kRecover lets the batched Jacobi SVD re-run sweep-starved problems
+  /// through the serial path (see jacobi_svd_strided_batched).
+  OnBreakdown on_breakdown = OnBreakdown::kRecover;
+  RsvdBreakdowns* breakdowns = nullptr;  ///< optional out-counters
 };
 
 /// A ~= U diag(s) V^H truncated per options; returned as a LowRankFactor

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <complex>
+#include <limits>
 
 #include "common/blas.hpp"
 #include "common/error.hpp"
@@ -63,6 +64,7 @@ GmresResult<T> gmres(index_t n, const LinearOp<T>& apply_a,
   std::vector<T> sn(m), g(m + 1);
 
   index_t total_it = 0;
+  R prev_cycle = R{-1};  // true residual at the previous cycle start
   while (total_it < opt.max_iterations) {
     // r = M^{-1} (b - A x).
     apply_a(x, tmp.data());
@@ -76,6 +78,14 @@ GmresResult<T> gmres(index_t n, const LinearOp<T>& apply_a,
       out.iterations = total_it;
       return out;
     }
+    // Stagnation: a whole restart cycle bought essentially nothing. Return
+    // the best iterate instead of spinning to max_iterations.
+    if (prev_cycle >= R{0} && !(out.relres < prev_cycle * R{0.9999})) {
+      out.stagnated = true;
+      out.iterations = total_it;
+      return out;
+    }
+    prev_cycle = out.relres;
 
     for (index_t i = 0; i < n; ++i) v(i, 0) = r[i] / T{beta};
     std::fill(g.begin(), g.end(), T{});
@@ -86,12 +96,18 @@ GmresResult<T> gmres(index_t n, const LinearOp<T>& apply_a,
       // w = M^{-1} A v_j, modified Gram-Schmidt.
       apply_a(v.data() + j * n, tmp.data());
       apply_m(tmp.data(), w.data());
+      const R wnorm = norm2(w.data(), n);
       for (index_t i = 0; i <= j; ++i) {
         const T hij = dotc(v.data() + i * n, w.data(), n);
         h(i, j) = hij;
         for (index_t l = 0; l < n; ++l) w[l] -= hij * v(l, i);
       }
       const R hnext = norm2(w.data(), n);
+      // Happy breakdown: M^{-1} A v_j lies (to rounding) in the spanned
+      // Krylov space. An exact-zero test never fires in floating point, so
+      // compare against the pre-orthogonalization norm.
+      if (hnext <= wnorm * std::numeric_limits<R>::epsilon() * R{64})
+        out.breakdown = true;
       h(j + 1, j) = T{hnext};
       if (hnext > R{0})
         for (index_t l = 0; l < n; ++l) v(l, j + 1) = w[l] / T{hnext};
@@ -114,7 +130,7 @@ GmresResult<T> gmres(index_t n, const LinearOp<T>& apply_a,
         ++j;
         break;
       }
-      if (hnext == R{0}) {  // lucky breakdown
+      if (out.breakdown) {  // the spanned space is invariant: stop here
         ++j;
         break;
       }

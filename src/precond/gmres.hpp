@@ -29,6 +29,17 @@ struct GmresResult {
   bool converged = false;
   index_t iterations = 0;
   real_t<T> relres = 0;                  ///< final relative residual
+  /// True when a restart cycle failed to improve the residual of the
+  /// previous cycle: the restarted Krylov space is not making progress and
+  /// further iterations would only burn time. The solver returns early with
+  /// the best iterate so callers can escalate (tighter preconditioner,
+  /// larger restart) instead of spinning to max_iterations.
+  bool stagnated = false;
+  /// True when the Arnoldi process hit a negligible subdiagonal — the new
+  /// direction vanished under orthogonalization to rounding, i.e. a "happy"
+  /// breakdown: the Krylov space became invariant. Usually accompanied by
+  /// converged = true — the solution is exact in the spanned space.
+  bool breakdown = false;
   std::vector<real_t<T>> history;        ///< residual per iteration
 };
 

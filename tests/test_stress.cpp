@@ -168,8 +168,11 @@ TEST(Stress, RecompressionDisabledStillCorrect) {
 }
 
 TEST(Stress, MaxRankCapThrowsWhenInsufficient) {
-  // A full-rank random matrix cannot be compressed at rank 3: build must
-  // surface the ACA failure rather than silently truncate.
+  // A full-rank random matrix cannot be compressed at rank 3: under the
+  // kThrow breakdown policy build must surface the ACA failure rather than
+  // silently truncate. (The default kRecover policy instead keeps a
+  // best-effort rank-3 approximation and records the stall in the
+  // FactorReport — covered by test_faults.cpp.)
   const index_t n = 64;
   Matrix<double> a = random_matrix<double>(n, n, 839);
   for (index_t i = 0; i < n; ++i) a(i, i) += 8.0;
@@ -177,6 +180,7 @@ TEST(Stress, MaxRankCapThrowsWhenInsufficient) {
   BuildOptions bopt;
   bopt.tol = 1e-12;
   bopt.max_rank = 3;
+  bopt.on_breakdown = OnBreakdown::kThrow;
   EXPECT_THROW(HodlrMatrix<double>::build_from_dense(a, tree, bopt), Error);
 }
 
