@@ -259,12 +259,19 @@ void emit_blocking_record(JsonArrayWriter& out) {
   out.field("nc", rb.nc);
   out.field("trsm_nb", rb.trsm_nb);
   out.field("qr_nb", rb.qr_nb);
+  out.field("batch_simd_width", rb.batch_simd_width);
   out.field("tile_src", blocking_source_name(rb.tile_src));
   out.field("mc_src", blocking_source_name(rb.mc_src));
   out.field("kc_src", blocking_source_name(rb.kc_src));
   out.field("nc_src", blocking_source_name(rb.nc_src));
   out.field("trsm_src", blocking_source_name(rb.trsm_src));
   out.field("qr_src", blocking_source_name(rb.qr_src));
+  out.field("batch_src", blocking_source_name(rb.batch_src));
+  // The register-tile tie-breaker's inputs, as the resolver measured them
+  // (0 when the tile came from an override or the static rung) — so the
+  // JSON records WHY a tile was picked on this host.
+  out.field("tile_bench_wide_s", rb.tile_bench_wide_s);
+  out.field("tile_bench_compact_s", rb.tile_bench_compact_s);
   out.end_record();
 }
 }  // namespace detail
@@ -281,6 +288,7 @@ inline void emit_blocking_records(JsonArrayWriter& out) {
   out.field("l2_bytes", static_cast<index_t>(hw.l2_bytes));
   out.field("l3_bytes", static_cast<index_t>(hw.l3_bytes));
   out.field("line_bytes", static_cast<index_t>(hw.line_bytes));
+  out.field("simd_bytes", static_cast<index_t>(hw.simd_bytes));
   out.field("cpus", static_cast<index_t>(hw.logical_cpus));
   out.field("family", hw.family);
   out.field("probe_source", hw.source);

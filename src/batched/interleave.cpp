@@ -1,0 +1,95 @@
+#include "batched/interleave.hpp"
+
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/scalar.hpp"
+
+namespace hodlrx {
+
+template <typename T>
+void batch_interleave(index_t rows, index_t cols, const T* const* src,
+                      index_t ld, index_t nlanes, index_t w, T* dst) {
+  HODLRX_REQUIRE(nlanes <= w, "batch_interleave: nlanes > w");
+  for (index_t j = 0; j < cols; ++j) {
+    T* __restrict__ d = dst + static_cast<std::size_t>(j) * rows * w;
+    for (index_t i = 0; i < rows; ++i) {
+      for (index_t l = 0; l < nlanes; ++l) d[i * w + l] = src[l][i + j * ld];
+      for (index_t l = nlanes; l < w; ++l) d[i * w + l] = T{};
+    }
+  }
+}
+
+template <typename T>
+void batch_interleave_op(Op op, index_t rows, index_t cols,
+                         const T* const* src, index_t ld, index_t nlanes,
+                         index_t w, T* dst) {
+  if (op == Op::N) {
+    batch_interleave(rows, cols, src, ld, nlanes, w, dst);
+    return;
+  }
+  HODLRX_REQUIRE(nlanes <= w, "batch_interleave_op: nlanes > w");
+  const bool conj = (op == Op::C) && is_complex_v<T>;
+  for (index_t j = 0; j < cols; ++j) {
+    T* __restrict__ d = dst + static_cast<std::size_t>(j) * rows * w;
+    for (index_t i = 0; i < rows; ++i) {
+      for (index_t l = 0; l < nlanes; ++l) {
+        const T x = src[l][j + i * ld];  // op(X)(i, j) = X(j, i)
+        d[i * w + l] = conj ? conj_s(x) : x;
+      }
+      for (index_t l = nlanes; l < w; ++l) d[i * w + l] = T{};
+    }
+  }
+}
+
+template <typename T>
+void batch_deinterleave(index_t rows, index_t cols, const T* src, index_t w,
+                        index_t nlanes, T* const* dst, index_t ld) {
+  HODLRX_REQUIRE(nlanes <= w, "batch_deinterleave: nlanes > w");
+  for (index_t j = 0; j < cols; ++j) {
+    const T* __restrict__ s = src + static_cast<std::size_t>(j) * rows * w;
+    for (index_t l = 0; l < nlanes; ++l) {
+      T* __restrict__ d = dst[l] + j * ld;
+      for (index_t i = 0; i < rows; ++i) d[i] = s[i * w + l];
+    }
+  }
+}
+
+template <typename T>
+void batch_deinterleave_axpby(T alpha, index_t rows, index_t cols,
+                              const T* src, index_t w, index_t nlanes, T beta,
+                              T* const* dst, index_t ld) {
+  HODLRX_REQUIRE(nlanes <= w, "batch_deinterleave_axpby: nlanes > w");
+  for (index_t j = 0; j < cols; ++j) {
+    const T* __restrict__ s = src + static_cast<std::size_t>(j) * rows * w;
+    for (index_t l = 0; l < nlanes; ++l) {
+      T* __restrict__ d = dst[l] + j * ld;
+      if (beta == T{}) {
+        for (index_t i = 0; i < rows; ++i) d[i] = alpha * s[i * w + l];
+      } else {
+        for (index_t i = 0; i < rows; ++i)
+          d[i] = alpha * s[i * w + l] + beta * d[i];
+      }
+    }
+  }
+}
+
+#define HODLRX_INSTANTIATE_INTERLEAVE(T)                                      \
+  template void batch_interleave<T>(index_t, index_t, const T* const*,        \
+                                    index_t, index_t, index_t, T*);           \
+  template void batch_interleave_op<T>(Op, index_t, index_t, const T* const*, \
+                                       index_t, index_t, index_t, T*);        \
+  template void batch_deinterleave<T>(index_t, index_t, const T*, index_t,    \
+                                      index_t, T* const*, index_t);           \
+  template void batch_deinterleave_axpby<T>(T, index_t, index_t, const T*,    \
+                                            index_t, index_t, T, T* const*,   \
+                                            index_t);
+
+HODLRX_INSTANTIATE_INTERLEAVE(float)
+HODLRX_INSTANTIATE_INTERLEAVE(double)
+HODLRX_INSTANTIATE_INTERLEAVE(std::complex<float>)
+HODLRX_INSTANTIATE_INTERLEAVE(std::complex<double>)
+
+#undef HODLRX_INSTANTIATE_INTERLEAVE
+
+}  // namespace hodlrx

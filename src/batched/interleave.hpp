@@ -1,0 +1,77 @@
+#pragma once
+
+#include "common/blas.hpp"
+#include "common/matrix.hpp"
+#include "common/workspace.hpp"
+
+/// \file interleave.hpp
+/// The problem-major <-> lane-major transpose pair behind the across-batch
+/// SIMD kernels (batch_kernels.hpp).
+///
+/// Lane-major layout: element (i, j) of the `w` problems of one lane group
+/// is stored contiguously,
+///
+///     buf[(i + j * rows) * w + lane],   lane = 0 .. w-1,
+///
+/// i.e. the batch index becomes the fastest-varying (vector) dimension, so a
+/// kernel loop over `lane` touches `w` problems with one unit-stride vector
+/// op — the CPU analogue of the warp-per-problem batched GPU kernels.
+///
+/// Groups are formed from `w` consecutive (or gathered — the Jacobi active
+/// set compacts) problems; a partial last group zero-fills its dead lanes.
+/// All-zero lanes are benign in every consumer: Householder generation
+/// early-outs on a zero column, the Jacobi pair test skips on a zero Gram
+/// entry, and a zero GEMM lane just computes zeros nobody reads back.
+///
+/// Staging buffers come from the thread-local WorkspaceArena through a
+/// DEDICATED slot (kInterleave): batched launches park live per-launch
+/// workspace in the owner thread's kScratch while that same thread also
+/// executes group tasks, so interleave staging must not grow kScratch from
+/// under it. Growth still runs through WorkspaceArena::get — the
+/// fault-injected, drop-all-slots-and-retry allocation path — so the
+/// breakdown-recovery coverage of workspace.alloc extends to this slot.
+
+namespace hodlrx {
+
+/// Lane-group staging buffer of at least `count` elements of T, from the
+/// calling thread's arena (kInterleave slot). Same lifetime rules as every
+/// arena buffer: valid until the next larger interleave_workspace call on
+/// this thread. One call per group task — carve sub-buffers by offset.
+template <typename T>
+inline T* interleave_workspace(std::size_t count) {
+  return WorkspaceArena::local().get<T>(count, WorkspaceArena::kInterleave);
+}
+
+/// Gather `nlanes` problem matrices (rows x cols each, column stride `ld`,
+/// lane l at src[l]) into the lane-major buffer `dst` (capacity
+/// rows * cols * w). Lanes nlanes..w-1 are zero-filled.
+template <typename T>
+void batch_interleave(index_t rows, index_t cols, const T* const* src,
+                      index_t ld, index_t nlanes, index_t w, T* dst);
+
+/// As batch_interleave, but reading op(X): `rows x cols` is the shape of
+/// op(X) and the transpose/conjugation is absorbed during the gather (the
+/// same trick the GEMM packing routines use), so the lane kernels only ever
+/// see the Op::N layout.
+template <typename T>
+void batch_interleave_op(Op op, index_t rows, index_t cols,
+                         const T* const* src, index_t ld, index_t nlanes,
+                         index_t w, T* dst);
+
+/// Scatter the first `nlanes` lanes of the lane-major buffer `src` back to
+/// the problem matrices dst[l] (rows x cols, column stride ld). Dead lanes
+/// are simply not read.
+template <typename T>
+void batch_deinterleave(index_t rows, index_t cols, const T* src, index_t w,
+                        index_t nlanes, T* const* dst, index_t ld);
+
+/// Scatter with the BLAS update fused in: dst[l] = alpha * lane_l(src) +
+/// beta * dst[l] (beta == 0 overwrites without reading, matching gemm's
+/// beta semantics on uninitialized C). This is how the across-batch
+/// small-GEMM path applies alpha/beta — C is never interleaved in.
+template <typename T>
+void batch_deinterleave_axpby(T alpha, index_t rows, index_t cols,
+                              const T* src, index_t w, index_t nlanes, T beta,
+                              T* const* dst, index_t ld);
+
+}  // namespace hodlrx

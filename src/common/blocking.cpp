@@ -16,6 +16,7 @@ const char* blocking_source_name(BlockingSource s) {
     case BlockingSource::kStatic: return "static";
     case BlockingSource::kProbe: return "probe";
     case BlockingSource::kEnv: return "env";
+    case BlockingSource::kMicrobench: return "microbench";
   }
   return "?";
 }
@@ -79,6 +80,16 @@ TileDims model_tile(const HwInfo& hw) {
   return GemmTiles<T>::kWide;
 }
 
+/// Round a requested across-batch lane count down to a compiled width: the
+/// batch kernels (batch_kernels.cpp) instantiate one fully unrolled body per
+/// power-of-two width up to 16 (the widest possible lane count: 64-byte
+/// AVX-512 registers over 4-byte floats).
+index_t supported_batch_width(index_t w) {
+  index_t s = 1;
+  while (s * 2 <= w && s < 16) s *= 2;
+  return s;
+}
+
 }  // namespace
 
 template <typename T>
@@ -94,13 +105,25 @@ ResolvedBlocking static_blocking() {
   return rb;        // every src field is kStatic
 }
 
+namespace {
+
+/// The cache/panel derivations of the model for an EXPLICIT register tile.
+/// Factored out of model_blocking so the first-use tie-breaker (resolve()
+/// below) can re-derive KC/MC/NC for the measured winner: KC is sized from
+/// mr + nr, so a tile switched after the derivation could overrun the L1
+/// streaming budget.
 template <typename T>
-ResolvedBlocking model_blocking(const HwInfo& hw) {
+ResolvedBlocking model_blocking_for_tile(const HwInfo& hw, TileDims tile) {
   ResolvedBlocking rb = static_blocking<T>();
-  const TileDims tile = model_tile<T>(hw);
   rb.mr = tile.mr;
   rb.nr = tile.nr;
   rb.tile_src = BlockingSource::kProbe;
+  // Across-batch SIMD width: one problem per lane of the widest register the
+  // feature bits promise (hwinfo().simd_bytes; 0 means scalar-only). A lane
+  // is one full element — complex types get correspondingly fewer lanes.
+  rb.batch_simd_width = supported_batch_width(
+      static_cast<index_t>(hw.simd_bytes / sizeof(T)));
+  rb.batch_src = BlockingSource::kProbe;
   const index_t szT = static_cast<index_t>(sizeof(T));
   const index_t l1 = static_cast<index_t>(hw.l1d_bytes);
   const index_t l2 = static_cast<index_t>(hw.l2_bytes);
@@ -138,6 +161,13 @@ ResolvedBlocking model_blocking(const HwInfo& hw) {
   return rb;
 }
 
+}  // namespace
+
+template <typename T>
+ResolvedBlocking model_blocking(const HwInfo& hw) {
+  return model_blocking_for_tile<T>(hw, model_tile<T>(hw));
+}
+
 namespace {
 
 /// Full resolution ladder for one scalar type.
@@ -146,17 +176,47 @@ ResolvedBlocking resolve() {
   const bool autotune = parse_autotune();
   const HwInfo& hw = hwinfo();
   const bool probed = std::strcmp(hw.source, "default") != 0;
-  // With autotune on but a failed probe we sit on the static rung — the
-  // model would only be re-deriving its own fallback constants.
-  ResolvedBlocking rb = (autotune && probed) ? model_blocking<T>(hw)
-                                             : static_blocking<T>();
+  const char* tile_env = std::getenv("HODLRX_GEMM_TILE");
+  const bool tile_forced = tile_env && *tile_env &&
+                           (env_is(tile_env, "wide") ||
+                            env_is(tile_env, "compact"));
+  ResolvedBlocking rb;
+  if (autotune && probed) {
+    // Adaptive rung. The register tile is decided by MEASUREMENT when
+    // nothing forces it: both compiled variants run the same synthetic
+    // macro tile once per process (tile_microbench, cached) and the faster
+    // one wins, with the model's feature-bit choice as the tie-break seed.
+    // The cache fields are then derived FOR the winning tile — KC's L1
+    // streaming budget depends on mr + nr.
+    TileDims tile = model_tile<T>(hw);
+    TileBench tb;
+    bool benched = false;
+    if (!tile_forced) {
+      tb = tile_microbench<T>();
+      if (tb.wide_s > 0 && tb.compact_s > 0) {
+        tile = (tb.compact_s < tb.wide_s) ? GemmTiles<T>::kCompact
+                                          : GemmTiles<T>::kWide;
+        benched = true;
+      }
+    }
+    rb = model_blocking_for_tile<T>(hw, tile);
+    if (benched) {
+      rb.tile_src = BlockingSource::kMicrobench;
+      rb.tile_bench_wide_s = tb.wide_s;
+      rb.tile_bench_compact_s = tb.compact_s;
+    }
+  } else {
+    // With autotune on but a failed probe we sit on the static rung — the
+    // model would only be re-deriving its own fallback constants.
+    rb = static_blocking<T>();
+  }
   // Tile override: wide/compact by name (anything else falls through).
-  if (const char* s = std::getenv("HODLRX_GEMM_TILE"); s && *s) {
-    if (env_is(s, "wide")) {
+  if (tile_env && *tile_env) {
+    if (env_is(tile_env, "wide")) {
       rb.mr = GemmTiles<T>::kWide.mr;
       rb.nr = GemmTiles<T>::kWide.nr;
       rb.tile_src = BlockingSource::kEnv;
-    } else if (env_is(s, "compact")) {
+    } else if (env_is(tile_env, "compact")) {
       rb.mr = GemmTiles<T>::kCompact.mr;
       rb.nr = GemmTiles<T>::kCompact.nr;
       rb.tile_src = BlockingSource::kEnv;
@@ -169,6 +229,10 @@ ResolvedBlocking resolve() {
   apply_env("HODLRX_GEMM_NC", rb.nr, rb.nc, rb.nc_src);
   apply_env("HODLRX_TRSM_NB", 8, rb.trsm_nb, rb.trsm_src);
   apply_env("HODLRX_QR_NB", 1, rb.qr_nb, rb.qr_src);
+  // Across-batch lane count: the override is rounded down to a compiled
+  // width, so any positive value is safe to request (1 = scalar fallback).
+  apply_env("HODLRX_BATCH_SIMD", 1, rb.batch_simd_width, rb.batch_src);
+  rb.batch_simd_width = supported_batch_width(rb.batch_simd_width);
   // A tile switched after a cache override was applied cannot undercut the
   // packing invariants: re-clamp unconditionally.
   rb.mc = std::max(rb.mc, rb.mr);

@@ -33,8 +33,11 @@
 namespace hodlrx {
 
 /// Where a resolved field came from (reported in the bench JSON so the perf
-/// trajectory records what each run actually used).
-enum class BlockingSource : std::uint8_t { kStatic, kProbe, kEnv };
+/// trajectory records what each run actually used). kMicrobench is specific
+/// to the register tile: both compiled variants were timed on one synthetic
+/// macro tile at first resolution and the faster one won.
+enum class BlockingSource : std::uint8_t { kStatic, kProbe, kEnv,
+                                           kMicrobench };
 const char* blocking_source_name(BlockingSource s);
 
 struct ResolvedBlocking {
@@ -42,12 +45,23 @@ struct ResolvedBlocking {
   index_t mc = 0, kc = 0, nc = 0;  ///< GEMM cache blocking
   index_t trsm_nb = 0;     ///< TRSM diagonal-block size
   index_t qr_nb = 0;       ///< QR panel width
+  /// Problems per SIMD lane-group in the across-batch kernels
+  /// (batch_kernels.hpp): HODLRX_BATCH_SIMD override > hwinfo().simd_bytes /
+  /// sizeof(T) > 1. Width 1 disables interleaving — every batched launch
+  /// takes the per-problem reference path, bit-for-bit.
+  index_t batch_simd_width = 1;
   BlockingSource tile_src = BlockingSource::kStatic;
   BlockingSource mc_src = BlockingSource::kStatic;
   BlockingSource kc_src = BlockingSource::kStatic;
   BlockingSource nc_src = BlockingSource::kStatic;
   BlockingSource trsm_src = BlockingSource::kStatic;
   BlockingSource qr_src = BlockingSource::kStatic;
+  BlockingSource batch_src = BlockingSource::kStatic;
+  /// Seconds per synthetic macro-tile multiply measured by the first-use
+  /// tile tie-breaker; both stay 0 when it did not run (autotune off, no
+  /// probe, or HODLRX_GEMM_TILE forced). Recorded with tile_src ==
+  /// kMicrobench so bench JSON shows what the measurement saw.
+  double tile_bench_wide_s = 0, tile_bench_compact_s = 0;
 };
 
 /// The resolved blocking for scalar type T (float, double, complex<float>,

@@ -192,6 +192,16 @@ const char* classify_family(const HwInfo& hw) {
   return "generic";
 }
 
+/// Numeric counterpart of the family string: the widest register the
+/// feature bits promise. 0 when nothing was detected (non-x86 or pre-SSE2),
+/// so consumers must treat 0 as "scalar only".
+std::size_t classify_simd_bytes(const HwInfo& hw) {
+  if (hw.avx512f) return 64;
+  if (hw.avx || hw.avx2) return 32;
+  if (hw.sse2) return 16;
+  return 0;
+}
+
 }  // namespace
 
 HwInfo probe_hwinfo() {
@@ -225,6 +235,7 @@ HwInfo probe_hwinfo() {
   }
 #endif
   hw.family = classify_family(hw);
+  hw.simd_bytes = classify_simd_bytes(hw);
   return hw;
 }
 

@@ -35,6 +35,10 @@ struct HwInfo {
   bool fma = false;
   bool avx2 = false;
   bool avx512f = false;
+  /// Widest usable SIMD register in bytes (64 = AVX-512, 32 = AVX/AVX2,
+  /// 16 = SSE2, 0 = unknown/scalar). Derived from the feature bits, so it is
+  /// valid even when the cache probe fell back to defaults.
+  std::size_t simd_bytes = 0;
   char vendor[13] = {0};       ///< CPUID vendor string, "" off x86
   /// Coarse machine family the tile/blocking model keys on:
   /// "x86-avx512" | "x86-avx2" | "x86-sse" | "generic".

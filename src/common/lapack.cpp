@@ -334,21 +334,15 @@ T make_householder(T* x, index_t n) {
   if (n <= 1) {
     return T{};
   }
-  const real_t<T> xnorm = norm2(x + 1, n - 1);
-  if (xnorm == real_t<T>{0} && !is_complex_v<T>) {
-    return T{};
-  }
-  const T alpha = x[0];
-  real_t<T> beta = std::hypot(abs_s(alpha), xnorm);
-  // Choose sign to avoid cancellation: beta has opposite sign of Re(alpha).
-  if (ScalarTraits<T>::real(alpha) > real_t<T>{0}) beta = -beta;
-  if (beta == real_t<T>{0}) return T{};
-  const T betaT = T{beta};
-  const T tau = (betaT - alpha) / betaT;
-  const T scale = T{1} / (alpha - betaT);
-  for (index_t i = 1; i < n; ++i) x[i] *= scale;
-  x[0] = betaT;
-  return tau;
+  // The branchy parameter math is shared with the across-batch SIMD panel
+  // (lapack.hpp::householder_params), so both paths produce the same
+  // tau/scale/beta bit-for-bit.
+  const HouseholderParams<T> p =
+      householder_params<T>(x[0], norm2(x + 1, n - 1));
+  if (!p.apply) return T{};
+  for (index_t i = 1; i < n; ++i) x[i] *= p.scale;
+  x[0] = p.beta;
+  return p.tau;
 }
 
 /// Apply H = I - tau v v^H (v from column `k` of `factors`, v[0]=1 implied)
@@ -768,6 +762,12 @@ bool jacobi_sweep_gram(MatrixView<T> w, MatrixView<T> v, MatrixView<T> g,
                        NoDeduce<real_t<T>> tol) {
   using R = real_t<T>;
   const index_t m = w.rows, n = w.cols;
+  // Deflation scale: the largest Gram diagonal at sweep start (rotations
+  // only shuffle mass between diagonal entries, so this is stable to O(1)
+  // within the sweep). See jacobi_rotation_params.
+  R gmax = R{0};
+  for (index_t j = 0; j < n; ++j)
+    gmax = std::max(gmax, ScalarTraits<T>::real(g(j, j)));
   bool rotated = false;
   for (index_t p = 0; p < n - 1; ++p) {
     for (index_t q = p + 1; q < n; ++q) {
@@ -775,18 +775,14 @@ bool jacobi_sweep_gram(MatrixView<T> w, MatrixView<T> v, MatrixView<T> g,
       // the convergence test never feeds sqrt a negative.
       const R alpha = std::max(R{0}, ScalarTraits<T>::real(g(p, p)));
       const R beta = std::max(R{0}, ScalarTraits<T>::real(g(q, q)));
-      const T gamma = g(p, q);
-      const R gabs = abs_s(gamma);
-      if (gabs <= tol * std::sqrt(alpha * beta) || gabs == R{0}) continue;
+      // Rotation parameters shared with the across-batch sweep
+      // (lapack.hpp::jacobi_rotation_params) — same formulas bit-for-bit.
+      const JacobiRotation<T> rot =
+          jacobi_rotation_params<T>(alpha, beta, g(p, q), tol, gmax);
+      if (!rot.rotate) continue;
       rotated = true;
-      // Phase so that the rotated off-diagonal is real, then a real Jacobi
-      // rotation (c, sr).
-      const T phase = gamma / T{gabs};
-      const R zeta = (beta - alpha) / (R{2} * gabs);
-      const R t = (zeta >= R{0} ? R{1} : R{-1}) /
-                  (std::abs(zeta) + std::sqrt(R{1} + zeta * zeta));
-      const R c = R{1} / std::sqrt(R{1} + t * t);
-      const T s = phase * T{c * t};
+      const R c = rot.c;
+      const T s = rot.s;
       T* __restrict__ wp = w.data + p * w.ld;
       T* __restrict__ wq = w.data + q * w.ld;
       for (index_t i = 0; i < m; ++i) {

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "common/blas.hpp"
 #include "common/matrix.hpp"
+#include "common/scalar.hpp"
 
 /// \file lapack.hpp
 /// LAPACK-like dense factorizations on column-major views: partially pivoted
@@ -271,6 +273,124 @@ struct SvdInfo {
   int sweeps = 0;
   bool converged = true;
 };
+
+namespace detail {
+/// Robust reciprocal. For complex types this is Smith's algorithm written
+/// out in REAL arithmetic: the parameter helpers below are inline templates
+/// instantiated both in lapack.cpp (full Annex-G complex arithmetic) and in
+/// the batch-kernel TU, which is compiled with -fcx-limited-range — the
+/// linker keeps ONE copy, so a complex/complex division here would silently
+/// take the limited-range form (naive conj(z)/|z|^2, whose |z|^2 under- or
+/// overflows) whenever that TU's instantiation wins. Component-wise real
+/// ops make the helpers independent of which instantiation is kept.
+template <typename T>
+T recip_smith(T z) {
+  if constexpr (is_complex_v<T>) {
+    using R = real_t<T>;
+    const R c = z.real(), d = z.imag();
+    if (std::abs(c) >= std::abs(d)) {
+      const R ratio = d / c;
+      const R denom = c + d * ratio;
+      return T{R{1} / denom, -ratio / denom};
+    }
+    const R ratio = c / d;
+    const R denom = c * ratio + d;
+    return T{ratio / denom, R{-1} / denom};
+  } else {
+    return T{1} / z;
+  }
+}
+}  // namespace detail
+
+/// The branchy scalar parameter step of one Householder reflector,
+/// factored out so the scalar kernel (make_householder) and the
+/// across-batch SIMD panel (geqrf_panel_batch) compute EXACTLY the same
+/// tau/scale/beta from the same (alpha, xnorm) — the formulas cannot drift
+/// apart. `apply == false` reproduces the scalar early-outs (zero tail on a
+/// real column, beta == 0): tau = 0, scale = 1 and beta = alpha are exact
+/// no-ops when folded into vectorized column updates.
+/// Divisions are by REAL scalars or via detail::recip_smith only — see the
+/// note there on -fcx-limited-range.
+template <typename T>
+struct HouseholderParams {
+  T tau{};        ///< reflector scalar (0 = identity)
+  T scale{T{1}};  ///< multiplier for x[1..n) (1 = identity)
+  T beta{};       ///< new diagonal entry (alpha when !apply)
+  bool apply = false;
+};
+template <typename T>
+HouseholderParams<T> householder_params(T alpha, real_t<T> xnorm) {
+  using R = real_t<T>;
+  HouseholderParams<T> p;
+  p.beta = alpha;
+  if (xnorm == R{0} && !is_complex_v<T>) return p;
+  R beta = std::hypot(abs_s(alpha), xnorm);
+  // Choose sign to avoid cancellation: beta has opposite sign of Re(alpha).
+  if (ScalarTraits<T>::real(alpha) > R{0}) beta = -beta;
+  if (beta == R{0}) return p;
+  const T betaT = T{beta};
+  p.tau = (betaT - alpha) / beta;  // real divisor: component-wise division
+  p.scale = detail::recip_smith(alpha - betaT);
+  p.beta = betaT;
+  p.apply = true;
+  return p;
+}
+
+/// The per-pair parameter step of one one-sided Jacobi rotation, shared by
+/// jacobi_sweep_gram and the across-batch sweep (jacobi_sweep_batch) for
+/// the same reason as householder_params. `alpha`/`beta` are the (already
+/// non-negative-clamped) diagonal Gram entries, `gamma` the off-diagonal
+/// one and `gmax` the LARGEST Gram diagonal of the problem (sampled at
+/// sweep start — the scale reference of the deflation test below);
+/// `rotate == false` means the pair passed the convergence or deflation
+/// test and (c, s) = (1, 0) is the identity rotation. Divisions and the
+/// phase product are by REAL scalars only — see detail::recip_smith on why.
+template <typename T>
+struct JacobiRotation {
+  real_t<T> c{1};
+  T s{};
+  bool rotate = false;
+};
+template <typename T>
+JacobiRotation<T> jacobi_rotation_params(real_t<T> alpha, real_t<T> beta,
+                                         T gamma, real_t<T> tol,
+                                         real_t<T> gmax) {
+  using R = real_t<T>;
+  JacobiRotation<T> r;
+  const R gabs = abs_s(gamma);
+  if (gabs <= tol * std::sqrt(alpha * beta) || gabs == R{0}) return r;
+  // Deflation (the gesvj idea): a column whose Gram diagonal sits below
+  // (64 eps)^2 * gmax — column norm below 64 eps times the largest column —
+  // is numerically ZERO: its entries are rounding noise left behind by
+  // earlier rotations (a rotation against a big column deposits
+  // O(eps * ||big||) into the small one), and its correlations are pure
+  // roundoff. Rotating such a pair only swaps fresh noise around, and
+  // because the RELATIVE convergence test above cannot tell noise from
+  // signal, noise pairs can re-correlate every sweep and stagnate the
+  // driver — observed both as a permanent cycle (float, an exhausted
+  // duplicate column re-correlating with its dense neighbor) and as ~30
+  // extra sweeps of linear-rate decorrelation among a clique of dead
+  // columns (complex<double>, rank-deficient 32x32). The reference scale
+  // must be the problem's LARGEST diagonal, not the pair's: dead-column
+  // pairs have similar tiny norms, so a pairwise ratio test never fires.
+  // Skipping them is exact to working accuracy — each contributes a
+  // singular value below 64 eps * ||A||, beneath the SVD's own backward
+  // error.
+  constexpr R kDeflateEps = R{64} * eps_v<R>;
+  if (std::min(alpha, beta) <= kDeflateEps * kDeflateEps * gmax) return r;
+  // Phase so that the rotated off-diagonal is real, then a real Jacobi
+  // rotation (c, t). gamma / gabs is a division by a REAL scalar
+  // (component-wise for complex T), identical in value to the full complex
+  // division by T{gabs} but immune to -fcx-limited-range.
+  const T phase = gamma / gabs;
+  const R zeta = (beta - alpha) / (R{2} * gabs);
+  const R t = (zeta >= R{0} ? R{1} : R{-1}) /
+              (std::abs(zeta) + std::sqrt(R{1} + zeta * zeta));
+  r.c = R{1} / std::sqrt(R{1} + t * t);
+  r.s = phase * (r.c * t);
+  r.rotate = true;
+  return r;
+}
 
 /// One cyclic sweep of one-sided Jacobi rotations over all column pairs of
 /// the TALL factor `w` (m x n, m >= n), accumulating the right rotations

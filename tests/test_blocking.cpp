@@ -52,7 +52,7 @@ const bool g_env_ready = [] {
 constexpr const char* kBlockingVars[] = {
     "HODLRX_AUTOTUNE", "HODLRX_GEMM_TILE", "HODLRX_GEMM_MC",
     "HODLRX_GEMM_KC",  "HODLRX_GEMM_NC",   "HODLRX_TRSM_NB",
-    "HODLRX_QR_NB"};
+    "HODLRX_QR_NB",    "HODLRX_BATCH_SIMD"};
 
 /// Clean-slate guard: clears every blocking variable on entry AND exit, and
 /// re-resolves, so tests cannot leak state into each other (or inherit the
