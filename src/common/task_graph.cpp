@@ -1,0 +1,193 @@
+#include "common/task_graph.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace hodlrx {
+
+SchedMode sched_mode() {
+  const char* s = std::getenv("HODLRX_SCHED");
+  if (s != nullptr && std::strcmp(s, "graph") == 0) return SchedMode::kGraph;
+  return SchedMode::kLevels;
+}
+
+const char* sched_mode_name(SchedMode m) {
+  return m == SchedMode::kGraph ? "graph" : "levels";
+}
+
+namespace sched_stats {
+namespace {
+std::atomic<std::uint64_t> g_graphs{0}, g_nodes{0}, g_edges{0}, g_steals{0},
+    g_max_ready{0};
+}  // namespace
+std::uint64_t graphs_run() { return g_graphs.load(std::memory_order_relaxed); }
+std::uint64_t nodes() { return g_nodes.load(std::memory_order_relaxed); }
+std::uint64_t edges() { return g_edges.load(std::memory_order_relaxed); }
+std::uint64_t steals() { return g_steals.load(std::memory_order_relaxed); }
+std::uint64_t max_ready_depth() {
+  return g_max_ready.load(std::memory_order_relaxed);
+}
+void reset() {
+  g_graphs.store(0, std::memory_order_relaxed);
+  g_nodes.store(0, std::memory_order_relaxed);
+  g_edges.store(0, std::memory_order_relaxed);
+  g_steals.store(0, std::memory_order_relaxed);
+  g_max_ready.store(0, std::memory_order_relaxed);
+}
+namespace {
+void record_max_ready(std::uint64_t depth) {
+  std::uint64_t prev = g_max_ready.load(std::memory_order_relaxed);
+  while (prev < depth && !g_max_ready.compare_exchange_weak(
+                             prev, depth, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+}  // namespace sched_stats
+
+TaskGraph::NodeId TaskGraph::add(std::function<void()> fn) {
+  HODLRX_REQUIRE(!ran_, "TaskGraph: add() after run()");
+  nodes_.push_back(Node{std::move(fn), {}, 0});
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+void TaskGraph::add_edge(NodeId before, NodeId after) {
+  HODLRX_REQUIRE(!ran_, "TaskGraph: add_edge() after run()");
+  HODLRX_REQUIRE(before >= 0 && before < size() && after >= 0 &&
+                     after < size() && before != after,
+                 "TaskGraph: bad edge " << before << " -> " << after);
+  nodes_[static_cast<std::size_t>(before)].out.push_back(after);
+  ++nodes_[static_cast<std::size_t>(after)].indegree;
+  ++num_edges_;
+}
+
+namespace {
+
+/// Shared execution state of one run(): ready stack + completion tracking
+/// under one mutex, remaining in-degrees as atomics (the acq_rel RMW chain
+/// makes every predecessor's writes visible to the node it releases).
+struct GraphRun {
+  struct Ready {
+    TaskGraph::NodeId id;
+    int pusher;  ///< worker slot that made it ready; -1 for seeds
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Ready> ready;  ///< LIFO
+  index_t done = 0;
+  index_t inflight = 0;
+  bool failed = false;
+  std::exception_ptr error;
+  std::uint64_t steals = 0;
+  std::uint64_t max_ready = 0;
+  std::unique_ptr<std::atomic<index_t>[]> indeg;
+};
+
+}  // namespace
+
+void TaskGraph::run() {
+  HODLRX_REQUIRE(!ran_, "TaskGraph: run() called twice");
+  ran_ = true;
+  const index_t n = size();
+  if (n == 0) return;
+
+  GraphRun st;
+  st.indeg.reset(new std::atomic<index_t>[static_cast<std::size_t>(n)]);
+  for (index_t i = 0; i < n; ++i)
+    st.indeg[static_cast<std::size_t>(i)].store(
+        nodes_[static_cast<std::size_t>(i)].indegree,
+        std::memory_order_relaxed);
+  st.ready.reserve(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    if (nodes_[static_cast<std::size_t>(i)].indegree == 0)
+      st.ready.push_back({i, -1});
+  HODLRX_REQUIRE(!st.ready.empty(), "TaskGraph: no source nodes (cycle)");
+  st.max_ready = st.ready.size();
+
+  const auto finished = [&st, n] {
+    return st.failed ? st.inflight == 0 : st.done == n;
+  };
+
+  const index_t workers = std::min<index_t>(max_threads(), n);
+  const auto worker = [&](index_t slot) {
+    std::unique_lock<std::mutex> lk(st.mu);
+    for (;;) {
+      // Wait for work, completion, or quiescence (ready empty + nothing in
+      // flight — with unfinished nodes that is an unsatisfiable dependency).
+      st.cv.wait(lk, [&] {
+        return !st.ready.empty() || finished() || st.inflight == 0;
+      });
+      if (finished() || st.failed) break;
+      if (st.ready.empty()) {
+        if (st.inflight == 0) {
+          if (!st.error)
+            st.error = std::make_exception_ptr(
+                Error("hodlrx: TaskGraph dependency cycle — " +
+                      std::to_string(n - st.done) + " of " +
+                      std::to_string(n) + " node(s) unreachable"));
+          st.failed = true;
+          st.cv.notify_all();
+          break;
+        }
+        continue;  // spurious: someone is in flight, wait again
+      }
+      const GraphRun::Ready r = st.ready.back();
+      st.ready.pop_back();
+      if (r.pusher >= 0 && r.pusher != static_cast<int>(slot)) ++st.steals;
+      ++st.inflight;
+      lk.unlock();
+
+      Node& node = nodes_[static_cast<std::size_t>(r.id)];
+      bool ok = true;
+      try {
+        node.fn();
+      } catch (...) {
+        ok = false;
+        lk.lock();
+        if (!st.error) st.error = std::current_exception();
+        st.failed = true;
+        lk.unlock();
+      }
+      // Release successors; acq_rel so the final decrementer observes every
+      // predecessor's writes (RMWs on one atomic form a release sequence).
+      std::vector<NodeId> newly;
+      if (ok)
+        for (const NodeId s : node.out)
+          if (st.indeg[static_cast<std::size_t>(s)].fetch_sub(
+                  1, std::memory_order_acq_rel) == 1)
+            newly.push_back(s);
+
+      lk.lock();
+      --st.inflight;
+      ++st.done;
+      if (!st.failed)
+        for (const NodeId s : newly)
+          st.ready.push_back({s, static_cast<int>(slot)});
+      if (st.ready.size() > st.max_ready) st.max_ready = st.ready.size();
+      st.cv.notify_all();
+    }
+  };
+
+  // One persistent worker per launch slot; each loops until the graph
+  // drains. A single-participant launch (1-thread pool or a nested region)
+  // executes the graph serially on the caller.
+  ThreadPool::instance().parallel_for(workers, /*dynamic=*/false, worker);
+
+  sched_stats::g_graphs.fetch_add(1, std::memory_order_relaxed);
+  sched_stats::g_nodes.fetch_add(static_cast<std::uint64_t>(st.done),
+                                 std::memory_order_relaxed);
+  sched_stats::g_edges.fetch_add(static_cast<std::uint64_t>(num_edges_),
+                                 std::memory_order_relaxed);
+  sched_stats::g_steals.fetch_add(st.steals, std::memory_order_relaxed);
+  sched_stats::record_max_ready(st.max_ready);
+  if (st.error) std::rethrow_exception(st.error);
+}
+
+}  // namespace hodlrx

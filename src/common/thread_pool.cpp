@@ -140,6 +140,15 @@ void ThreadPool::run(index_t n, bool dynamic, void (*body)(void*, index_t),
     for (index_t i = 0; i < n; ++i) body(ctx, i);
     return;
   }
+  const int participants = static_cast<int>(std::min<index_t>(num_threads_, n));
+  // A single-participant launch would publish a job, bump job_seq, and
+  // notify_all every worker just so they can claim a dead slot and go back
+  // to sleep. Run it inline instead: no job, no wake, and `launches_` keeps
+  // counting only launches that actually reached the workers.
+  if (participants <= 1) {
+    for (index_t i = 0; i < n; ++i) body(ctx, i);
+    return;
+  }
   launches_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> launch_lk(impl_->launch_mu);
   auto job = std::make_shared<Job>();
@@ -147,7 +156,7 @@ void ThreadPool::run(index_t n, bool dynamic, void (*body)(void*, index_t),
   job->ctx = ctx;
   job->n = n;
   job->dynamic = dynamic;
-  job->participants = static_cast<int>(std::min<index_t>(num_threads_, n));
+  job->participants = participants;
   job->remaining.store(job->participants - 1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(impl_->mu);

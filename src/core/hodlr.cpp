@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/parallel.hpp"
+#include "common/task_graph.hpp"
 #include "device/device.hpp"
 #include "lowrank/aca.hpp"
 #include "lowrank/recompress.hpp"
@@ -235,6 +236,228 @@ HodlrMatrix<T> build_from_generator_rsvd(const MatrixGenerator<T>& g,
   return std::move(h);
 }
 
+/// One uniform level side of a graph-mode compression sweep (level `level`,
+/// upper = the A(I_2j, I_2j+1) blocks). Sides are the compress-node
+/// granularity: every side gets ONE batched-rsvd node, fed by per-tile
+/// materialization nodes on the generator path.
+struct SweepSide {
+  index_t level = 0;
+  index_t begin = 0;  ///< level_begin(level)
+  index_t q = 0;      ///< sibling pairs (= tiles per side)
+  index_t s = 0;      ///< uniform node size
+  bool upper = false;
+};
+
+/// Collect the uniform-level sides in level order (upper before lower) —
+/// the linear order the double-buffered workspace chain serializes over.
+inline std::vector<SweepSide> collect_uniform_sides(const ClusterTree& tree) {
+  std::vector<SweepSide> sides;
+  for (index_t level = 1; level <= tree.depth(); ++level) {
+    const index_t s = uniform_level_size(tree, level);
+    if (s <= 0) continue;
+    const index_t begin = ClusterTree::level_begin(level);
+    const index_t q = ClusterTree::nodes_at_level(level) / 2;
+    sides.push_back({level, begin, q, s, true});
+    sides.push_back({level, begin, q, s, false});
+  }
+  return sides;
+}
+
+/// Store one side's factors (the per-side half of store_level_factors).
+template <typename T>
+void store_side_factors(HodlrMatrix<T>& h, const SweepSide& side,
+                        std::vector<LowRankFactor<T>>&& fs) {
+  for (index_t j = 0; j < side.q; ++j) {
+    const index_t nu = side.begin + 2 * j;
+    const index_t sib = nu + 1;
+    if (side.upper) {
+      h.u(nu) = std::move(fs[j].u);
+      h.v(sib) = std::move(fs[j].v);
+    } else {
+      h.u(sib) = std::move(fs[j].u);
+      h.v(nu) = std::move(fs[j].v);
+    }
+  }
+}
+
+/// Graph-node version of the non-uniform-level and leaf tasks shared by
+/// both builds: add one independent node per off-diagonal block of every
+/// non-uniform level and one per leaf diagonal block.
+template <typename T, typename BlockFn, typename LeafFn>
+void add_irregular_nodes(TaskGraph& gph, const ClusterTree& tree,
+                         BlockFn&& block_fn, LeafFn&& leaf_fn) {
+  for (index_t level = 1; level <= tree.depth(); ++level) {
+    if (uniform_level_size(tree, level) > 0) continue;
+    const index_t begin = ClusterTree::level_begin(level);
+    const index_t count = ClusterTree::nodes_at_level(level);
+    for (index_t t = 0; t < count; ++t)
+      gph.add([block_fn, level, nu = begin + t] { block_fn(level, nu); });
+  }
+  for (index_t j = 0; j < tree.num_leaves(); ++j)
+    gph.add([leaf_fn, j] { leaf_fn(j); });
+}
+
+/// Dependency-graph twin of build_from_dense_rsvd: every uniform level side
+/// is ONE compress node reading the dense view directly, so all sides (and
+/// the leaf copies) run concurrently — level L+1's compression overlaps
+/// level L's batched QR/SVD drain instead of waiting at a level barrier.
+template <typename T>
+HodlrMatrix<T> build_from_dense_rsvd_graph(ConstMatrixView<T> a,
+                                           const ClusterTree& tree,
+                                           const BuildOptions& opt,
+                                           HodlrMatrix<T>&& h,
+                                           FactorReport* report) {
+  const RsvdOptions base = rsvd_options(opt);
+  const std::vector<SweepSide> sides = collect_uniform_sides(tree);
+  // Per-side breakdown counters: compress nodes run concurrently, so each
+  // writes its own slot and the slots are merged after the graph drains.
+  std::vector<RsvdBreakdowns> bds(sides.size() + 1);
+  TaskGraph gph;
+  for (std::size_t k = 0; k < sides.size(); ++k) {
+    const SweepSide side = sides[k];
+    gph.add([&, side, k] {
+      const index_t b0 = tree.node(side.begin).begin;
+      const index_t stride = 2 * side.s * (a.ld + 1);
+      const T* base_ptr = side.upper
+                              ? a.data + b0 + (b0 + side.s) * a.ld
+                              : a.data + (b0 + side.s) + b0 * a.ld;
+      RsvdOptions ropt = base;
+      ropt.on_breakdown = opt.on_breakdown;
+      ropt.breakdowns = &bds[k];
+      ropt.seed = opt.seed + 2 * side.level + (side.upper ? 0 : 1);
+      auto fs = rsvd_strided_batched<T>(base_ptr, a.ld, stride, side.s,
+                                        side.s, side.q, ropt);
+      store_side_factors<T>(h, side, std::move(fs));
+    });
+  }
+  add_irregular_nodes<T>(
+      gph, tree,
+      [&](index_t level, index_t nu) {
+        const index_t sib = ClusterTree::sibling(nu);
+        const ClusterNode& rowc = tree.node(nu);
+        const ClusterNode& colc = tree.node(sib);
+        RsvdOptions ropt = base;
+        ropt.on_breakdown = opt.on_breakdown;
+        ropt.seed = opt.seed + 2 * level;
+        LowRankFactor<T> f = rsvd<T>(
+            a.block(rowc.begin, colc.begin, rowc.size(), colc.size()), ropt);
+        h.u(nu) = std::move(f.u);
+        h.v(sib) = std::move(f.v);
+      },
+      [&](index_t j) {
+        const ClusterNode& c = tree.node(tree.leaf(j));
+        h.leaf_block(j) =
+            to_matrix(a.block(c.begin, c.begin, c.size(), c.size()));
+      });
+  gph.run();
+  RsvdBreakdowns bd;
+  for (const RsvdBreakdowns& b : bds) {
+    bd.svd_nonconverged += b.svd_nonconverged;
+    bd.svd_recovered += b.svd_recovered;
+  }
+  fold_rsvd_breakdowns(bd, report);
+  scan_build_finite(h, opt.on_breakdown, report);
+  return std::move(h);
+}
+
+/// Dependency-graph twin of build_from_generator_rsvd. Nodes: one tile-
+/// materialization node per sibling pair (fills tile j of a side into the
+/// side's workspace slot) and one batched-rsvd compress node per side, plus
+/// the independent non-uniform/leaf nodes. Edges: every tile feeds its
+/// side's compress node, and the workspace is DOUBLE-BUFFERED (side k uses
+/// slot k%2, so side k's tiles wait on side k-2's compress) — level L+1 can
+/// materialize and compress while level L's batched QR/SVD drains, at the
+/// cost of two live level sides instead of one (peak 2x the levels-mode
+/// workspace; still at most half the dense matrix).
+template <typename T>
+HodlrMatrix<T> build_from_generator_rsvd_graph(const MatrixGenerator<T>& g,
+                                               const ClusterTree& tree,
+                                               const BuildOptions& opt,
+                                               HodlrMatrix<T>&& h,
+                                               FactorReport* report) {
+  const RsvdOptions base = rsvd_options(opt);
+  const std::vector<SweepSide> sides = collect_uniform_sides(tree);
+  std::vector<RsvdBreakdowns> bds(sides.size() + 1);
+
+  std::size_t slot_need[2] = {0, 0};
+  for (std::size_t k = 0; k < sides.size(); ++k)
+    slot_need[k % 2] =
+        std::max(slot_need[k % 2], static_cast<std::size_t>(sides[k].q) *
+                                       sides[k].s * sides[k].s);
+  std::vector<T, AlignedAllocator<T>> ws[2];
+  DeviceAllocation ws_mem[2];
+  for (int slot = 0; slot < 2; ++slot)
+    if (slot_need[slot] > 0) {
+      ws[slot].resize(slot_need[slot]);
+      ws_mem[slot] = DeviceAllocation(slot_need[slot] * sizeof(T));
+    }
+
+  TaskGraph gph;
+  std::vector<TaskGraph::NodeId> compress_node(sides.size());
+  for (std::size_t k = 0; k < sides.size(); ++k) {
+    const SweepSide side = sides[k];
+    T* wdata = ws[k % 2].data();
+    compress_node[k] = gph.add([&, side, k, wdata] {
+      DeviceContext::global().record_h2d(static_cast<std::size_t>(side.q) *
+                                         side.s * side.s * sizeof(T));
+      RsvdOptions ropt = base;
+      ropt.on_breakdown = opt.on_breakdown;
+      ropt.breakdowns = &bds[k];
+      ropt.seed = opt.seed + 2 * side.level + (side.upper ? 0 : 1);
+      auto fs = rsvd_strided_batched<T>(wdata, side.s, side.s * side.s,
+                                        side.s, side.s, side.q, ropt);
+      store_side_factors<T>(h, side, std::move(fs));
+    });
+  }
+  for (std::size_t k = 0; k < sides.size(); ++k) {
+    const SweepSide side = sides[k];
+    const index_t b0 = tree.node(side.begin).begin;
+    T* wdata = ws[k % 2].data();
+    for (index_t j = 0; j < side.q; ++j) {
+      const TaskGraph::NodeId fill = gph.add([&, side, b0, wdata, j] {
+        const index_t row0 = b0 + 2 * j * side.s + (side.upper ? 0 : side.s);
+        const index_t col0 = b0 + 2 * j * side.s + (side.upper ? side.s : 0);
+        g.fill_block(row0, col0,
+                     MatrixView<T>{wdata + j * side.s * side.s, side.s,
+                                   side.s, side.s});
+      });
+      // Workspace recycling: this side's tiles overwrite the slot the
+      // side-before-last compressed out of.
+      if (k >= 2) gph.add_edge(compress_node[k - 2], fill);
+      gph.add_edge(fill, compress_node[k]);
+    }
+  }
+  add_irregular_nodes<T>(
+      gph, tree,
+      [&](index_t level, index_t nu) {
+        const index_t sib = ClusterTree::sibling(nu);
+        const ClusterNode& rowc = tree.node(nu);
+        const ClusterNode& colc = tree.node(sib);
+        Matrix<T> block(rowc.size(), colc.size());
+        g.fill_block(rowc.begin, colc.begin, block);
+        RsvdOptions ropt = base;
+        ropt.on_breakdown = opt.on_breakdown;
+        ropt.seed = opt.seed + 2 * level;
+        LowRankFactor<T> f = rsvd<T>(block.view(), ropt);
+        h.u(nu) = std::move(f.u);
+        h.v(sib) = std::move(f.v);
+      },
+      [&](index_t j) {
+        const ClusterNode& c = tree.node(tree.leaf(j));
+        h.leaf_block(j) = Matrix<T>(c.size(), c.size());
+        g.fill_block(c.begin, c.begin, h.leaf_block(j));
+      });
+  gph.run();
+  RsvdBreakdowns bd;
+  for (const RsvdBreakdowns& b : bds) {
+    bd.svd_nonconverged += b.svd_nonconverged;
+    bd.svd_recovered += b.svd_recovered;
+  }
+  fold_rsvd_breakdowns(bd, report);
+  scan_build_finite(h, opt.on_breakdown, report);
+  return std::move(h);
+}
+
 }  // namespace
 
 template <typename T>
@@ -251,8 +474,12 @@ HodlrMatrix<T> HodlrMatrix<T>::build(const MatrixGenerator<T>& g,
   h.v_.resize(tree.num_nodes());
   h.leaf_d_.resize(tree.num_leaves());
 
-  if (opt.compressor == Compressor::kRsvdBatched)
+  if (opt.compressor == Compressor::kRsvdBatched) {
+    if (sched_mode() == SchedMode::kGraph)
+      return build_from_generator_rsvd_graph<T>(g, tree, opt, std::move(h),
+                                                report);
     return build_from_generator_rsvd<T>(g, tree, opt, std::move(h), report);
+  }
 
   AcaOptions aopt;
   aopt.tol = opt.tol;
@@ -405,6 +632,9 @@ HodlrMatrix<T> HodlrMatrix<T>::build_from_dense(ConstMatrixView<T> a,
     h.u_.resize(tree.num_nodes());
     h.v_.resize(tree.num_nodes());
     h.leaf_d_.resize(tree.num_leaves());
+    if (sched_mode() == SchedMode::kGraph)
+      return build_from_dense_rsvd_graph<T>(a, tree, opt, std::move(h),
+                                            report);
     return build_from_dense_rsvd<T>(a, tree, opt, std::move(h), report);
   }
   DenseGenerator<T> g(to_matrix(a));

@@ -12,17 +12,36 @@ DeviceContext& DeviceContext::global() {
 }
 
 void DeviceContext::alloc_bytes(std::size_t n) {
-  const std::size_t now = live_.fetch_add(n) + n;
-  HODLRX_REQUIRE(now <= capacity_,
-                 "device out of memory: " << now << " bytes live exceeds "
-                                          << capacity_ << " capacity");
+  // Check-then-add under CAS: a failed (over-capacity) allocation must leave
+  // `live_` untouched. The old fetch_add-then-check leaked the increment on
+  // the throw path — the throwing DeviceAllocation constructor never runs
+  // its destructor — so every failed allocation permanently inflated the
+  // live count and poisoned later capacity checks.
+  std::size_t cur = live_.load();
+  std::size_t now;
+  do {
+    now = cur + n;
+    HODLRX_REQUIRE(now <= capacity_,
+                   "device out of memory: " << now << " bytes live exceeds "
+                                            << capacity_ << " capacity");
+  } while (!live_.compare_exchange_weak(cur, now));
   // Monotone peak update.
   std::size_t prev = peak_.load();
   while (prev < now && !peak_.compare_exchange_weak(prev, now)) {
   }
 }
 
-void DeviceContext::free_bytes(std::size_t n) { live_.fetch_sub(n); }
+void DeviceContext::free_bytes(std::size_t n) {
+  // Saturating: never let `live_` wrap below zero. An unmatched free can
+  // only come from an accounting bug elsewhere; wrapping to a huge value
+  // would spuriously trip every later capacity check, which is worse than
+  // clamping (debug builds assert instead).
+  std::size_t cur = live_.load();
+  do {
+    HODLRX_DBG_ASSERT(cur >= n);
+    if (cur < n) n = cur;
+  } while (!live_.compare_exchange_weak(cur, cur - n));
+}
 
 void DeviceContext::record_launch() {
   launches_.fetch_add(1);
@@ -37,8 +56,11 @@ void DeviceContext::record_launch() {
 }
 
 void DeviceContext::reset_counters() {
-  live_ = 0;
-  peak_ = 0;
+  // `live_` is deliberately NOT reset: outstanding DeviceAllocation objects
+  // will still run free_bytes() later, and zeroing the live count under them
+  // would underflow it (see free_bytes). Live bytes are owned by RAII
+  // handles, not by the counters.
+  peak_ = live_.load();
   h2d_ = 0;
   d2h_ = 0;
   launches_ = 0;

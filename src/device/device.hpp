@@ -61,7 +61,10 @@ class DeviceContext {
   void set_launch_latency_us(double us) { launch_latency_us_ = us; }
   double launch_latency_us() const { return launch_latency_us_; }
 
-  /// Reset all counters (not the configuration).
+  /// Reset the transfer/launch counters and rebase the peak to the current
+  /// live bytes. `live_` itself is NOT reset: it is owned by the
+  /// outstanding DeviceAllocation handles, whose later destructors would
+  /// underflow a zeroed live count (the configuration is untouched too).
   void reset_counters();
 
  private:

@@ -11,6 +11,7 @@
 #include "common/gemm_kernel.hpp"
 #include "common/hwinfo.hpp"
 #include "common/lapack.hpp"
+#include "common/parallel.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trsm_kernel.hpp"
 #include "common/workspace.hpp"
@@ -407,6 +408,36 @@ TEST(Dispatch, StableAcrossRepeatedLaunches) {
                      random_matrix<float>(40, 40, 2).view(), 0.0f,
                      Matrix<float>(40, 40).view());
   EXPECT_EQ(blocking_stats::resolutions(), resolved1);
+}
+
+/// Launch accounting: trivial launches must stay inline. A one-iteration
+/// parallel_for, an empty one, and a parallel_chunks over zero work have a
+/// single participant — waking the whole pool for them (the old behavior)
+/// burned a broadcast per K-block in the deep HODLR levels. Only launches
+/// that actually reach the workers may count.
+TEST(Dispatch, TrivialLaunchesStayInline) {
+  ASSERT_TRUE(g_env_ready);
+  ThreadPool& pool = ThreadPool::instance();
+  // Warm up: make sure the pool exists and has served a real launch.
+  parallel_for(2 * pool.threads(), [](index_t) {});
+  const std::uint64_t launches0 = pool.launches();
+  const std::uint64_t threads0 = pool.threads_created();
+  parallel_for(index_t{1}, [](index_t) {});
+  parallel_for(index_t{0}, [](index_t) {});
+  parallel_for_static(index_t{1}, [](index_t) {});
+  parallel_chunks(index_t{0}, [](index_t, index_t) {});
+  EXPECT_EQ(pool.launches(), launches0)
+      << "single-participant launches must not wake the pool";
+  if (pool.threads() > 1) {
+    // A real launch still counts exactly once, and a nested construct inside
+    // it runs inline (no launch-from-worker storm).
+    parallel_for_static(index_t{2}, [](index_t) {
+      parallel_for_static(index_t{4}, [](index_t) {});
+    });
+    EXPECT_EQ(pool.launches(), launches0 + 1)
+        << "nested constructs must run inline, not launch";
+  }
+  EXPECT_EQ(pool.threads_created(), threads0);
 }
 
 /// --- the randomized override property suite ------------------------------

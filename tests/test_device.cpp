@@ -45,6 +45,54 @@ TEST(Device, OutOfMemoryThrows) {
   dev.reset_counters();
 }
 
+/// Regression: a rejected over-capacity allocation must not count toward
+/// live_bytes. The old alloc_bytes added first and threw after, leaking the
+/// charge — repeated failed allocations then poisoned every later capacity
+/// check and the reported `mem` column.
+TEST(Device, FailedAllocLeavesLiveBytesUntouched) {
+  DeviceContext& dev = DeviceContext::global();
+  dev.reset_counters();
+  const std::size_t cap = dev.capacity_bytes();
+  dev.set_capacity_bytes(4096);
+  DeviceAllocation base(1000);
+  const std::size_t live0 = dev.live_bytes();
+  ASSERT_EQ(live0, 1000u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_THROW({ DeviceAllocation big(1u << 20); }, Error);
+    EXPECT_EQ(dev.live_bytes(), live0)
+        << "failed allocation " << i << " leaked into live_bytes";
+  }
+  // The capacity headroom is really still available after the failures.
+  EXPECT_NO_THROW({ DeviceAllocation fits(3000); });
+  EXPECT_EQ(dev.live_bytes(), live0);
+  dev.set_capacity_bytes(cap);
+  dev.reset_counters();
+}
+
+/// Regression: reset_counters() with allocations outstanding must keep
+/// live_bytes owned by the live handles (their destructors free it later)
+/// and rebase the peak to the current live level instead of zero.
+TEST(Device, ResetWithOutstandingAllocationsDoesNotUnderflow) {
+  DeviceContext& dev = DeviceContext::global();
+  dev.reset_counters();
+  {
+    DeviceAllocation a(2000);
+    {
+      DeviceAllocation b(500);
+      EXPECT_EQ(dev.peak_bytes(), 2500u);
+    }
+    dev.reset_counters();
+    EXPECT_EQ(dev.live_bytes(), 2000u)
+        << "reset must not zero bytes owned by live handles";
+    EXPECT_EQ(dev.peak_bytes(), 2000u) << "peak rebases to the live level";
+    EXPECT_EQ(dev.h2d_bytes(), 0u);
+    EXPECT_EQ(dev.launches(), 0u);
+  }  // a's destructor frees against the preserved live count
+  EXPECT_EQ(dev.live_bytes(), 0u) << "release after reset underflowed";
+  EXPECT_EQ(dev.peak_bytes(), 2000u);
+  dev.reset_counters();
+}
+
 TEST(Device, TransferModel) {
   DeviceContext& dev = DeviceContext::global();
   dev.reset_counters();

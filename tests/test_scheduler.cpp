@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bie/laplace.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/task_graph.hpp"
+#include "common/thread_pool.hpp"
+#include "core/factorization.hpp"
+#include "core/hodlr.hpp"
+#include "test_util.hpp"
+
+/// \file test_scheduler.cpp
+/// The dependency-graph scheduler suite (docs/runtime-scheduler.md):
+///
+///   - TaskGraph unit semantics: dependency ordering, exception capture +
+///     drain, cycle detection at quiescence, the sched_stats counters, and
+///     the "graphs reuse the warm pool" invariant (no thread re-creation,
+///     one pool launch per run),
+///   - the HODLRX_SCHED switch itself (reread per call, "graph" vs default),
+///   - end-to-end agreement: the graph-scheduled build + factorization of a
+///     Laplace BIE operator must match the level-synchronous path — the
+///     per-problem kernels are identical, only the interleaving changes,
+///   - and fault recovery inside a graph run: an injected svd.sweeps budget
+///     exhaustion in a graph-scheduled batched build must heal under the
+///     default OnBreakdown::kRecover with injected() == recovered().
+///
+/// The binary pins HODLRX_NUM_THREADS=4 before the pool spawns so graph runs
+/// really fork on 1-CPU CI; HODLRX_SCHED itself is flipped per test with
+/// setenv (the mode is reread on every query, like HODLRX_FAULT).
+
+namespace hodlrx {
+namespace {
+
+using fault::Site;
+using test::rel_error;
+
+const bool g_env_ready = [] {
+  setenv("HODLRX_NUM_THREADS", "4", 1);
+  return true;
+}();
+
+/// Scope guard for one environment variable (same shape as test_faults's;
+/// the sched legs export HODLRX_SCHED process-wide, so tests pin their own).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr)
+      ::setenv(name, value, /*overwrite=*/1);
+    else
+      ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (had_old_)
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    else
+      ::unsetenv(name_.c_str());
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// HODLRX_SCHED resolution
+// ---------------------------------------------------------------------------
+
+TEST(SchedModeSwitch, RereadPerCall) {
+  ScopedEnv env("HODLRX_SCHED", nullptr);
+  EXPECT_EQ(sched_mode(), SchedMode::kLevels) << "unset -> levels";
+  setenv("HODLRX_SCHED", "graph", 1);
+  EXPECT_EQ(sched_mode(), SchedMode::kGraph);
+  setenv("HODLRX_SCHED", "levels", 1);
+  EXPECT_EQ(sched_mode(), SchedMode::kLevels);
+  setenv("HODLRX_SCHED", "banana", 1);
+  EXPECT_EQ(sched_mode(), SchedMode::kLevels) << "unknown -> levels";
+  EXPECT_STREQ(sched_mode_name(SchedMode::kGraph), "graph");
+  EXPECT_STREQ(sched_mode_name(SchedMode::kLevels), "levels");
+}
+
+// ---------------------------------------------------------------------------
+// TaskGraph unit semantics
+// ---------------------------------------------------------------------------
+
+TEST(TaskGraph, EmptyGraphRuns) {
+  TaskGraph g;
+  EXPECT_EQ(g.size(), 0);
+  g.run();  // no nodes, no workers dispatched, no throw
+}
+
+/// Diamond + wide fan: every node asserts its predecessors completed before
+/// it started, under real pool concurrency.
+TEST(TaskGraph, DependenciesAreRespected) {
+  ASSERT_TRUE(g_env_ready);
+  constexpr index_t kFan = 64;
+  TaskGraph g;
+  std::atomic<int> a_done{0}, mids_done{0};
+  bool join_saw_all = false;
+  const TaskGraph::NodeId a = g.add([&] { a_done.store(1); });
+  std::vector<TaskGraph::NodeId> mids;
+  for (index_t i = 0; i < kFan; ++i) {
+    mids.push_back(g.add([&] {
+      EXPECT_EQ(a_done.load(), 1) << "mid node ran before its predecessor";
+      mids_done.fetch_add(1);
+    }));
+    g.add_edge(a, mids.back());
+  }
+  const TaskGraph::NodeId join =
+      g.add([&] { join_saw_all = mids_done.load() == kFan; });
+  for (const TaskGraph::NodeId m : mids) g.add_edge(m, join);
+  EXPECT_EQ(g.size(), kFan + 2);
+  EXPECT_EQ(g.num_edges(), 2 * kFan);
+  g.run();
+  EXPECT_TRUE(join_saw_all) << "join ran before all mid nodes completed";
+}
+
+TEST(TaskGraph, StatsCountersAccumulate) {
+  sched_stats::reset();
+  EXPECT_EQ(sched_stats::graphs_run(), 0u);
+  TaskGraph g;
+  const TaskGraph::NodeId a = g.add([] {});
+  const TaskGraph::NodeId b = g.add([] {});
+  const TaskGraph::NodeId c = g.add([] {});
+  const TaskGraph::NodeId d = g.add([] {});
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.run();
+  EXPECT_EQ(sched_stats::graphs_run(), 1u);
+  EXPECT_EQ(sched_stats::nodes(), 4u);
+  EXPECT_EQ(sched_stats::edges(), 4u);
+  EXPECT_GE(sched_stats::max_ready_depth(), 1u);
+  sched_stats::reset();
+  EXPECT_EQ(sched_stats::nodes(), 0u);
+}
+
+/// A throwing node fails the run with ITS exception; successors of the
+/// failed node are never issued (their in-degree never drops).
+TEST(TaskGraph, ExceptionPropagatesAndSuccessorsDoNotRun) {
+  TaskGraph g;
+  std::atomic<bool> successor_ran{false};
+  const TaskGraph::NodeId pre = g.add([] {});
+  const TaskGraph::NodeId bad =
+      g.add([] { throw std::runtime_error("node failure"); });
+  const TaskGraph::NodeId post = g.add([&] { successor_ran.store(true); });
+  g.add_edge(pre, bad);
+  g.add_edge(bad, post);
+  EXPECT_THROW(g.run(), std::runtime_error);
+  EXPECT_FALSE(successor_ran.load())
+      << "successor of a failed node must not execute";
+}
+
+TEST(TaskGraph, PureCycleIsRejected) {
+  TaskGraph g;
+  const TaskGraph::NodeId a = g.add([] {});
+  const TaskGraph::NodeId b = g.add([] {});
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_THROW(g.run(), Error) << "no source nodes -> cycle";
+}
+
+TEST(TaskGraph, MidGraphCycleDetectedAtQuiescence) {
+  TaskGraph g;
+  std::atomic<bool> seed_ran{false};
+  const TaskGraph::NodeId seed = g.add([&] { seed_ran.store(true); });
+  const TaskGraph::NodeId a = g.add([] {});
+  const TaskGraph::NodeId b = g.add([] {});
+  g.add_edge(seed, a);
+  g.add_edge(a, b);
+  g.add_edge(b, a);  // a <-> b can never start
+  EXPECT_THROW(g.run(), Error);
+  EXPECT_TRUE(seed_ran.load()) << "reachable work still executes";
+}
+
+/// Graph runs ride the persistent pool: no thread creation after warm-up and
+/// exactly one pool launch per run() (the workers loop inside one launch).
+TEST(TaskGraph, RunsReuseTheWarmPool) {
+  ASSERT_TRUE(g_env_ready);
+  ThreadPool& pool = ThreadPool::instance();
+  {
+    TaskGraph warm;  // spin up the pool before sampling the counters
+    warm.add([] {});
+    warm.add([] {});
+    warm.run();
+  }
+  const std::uint64_t threads0 = pool.threads_created();
+  const std::uint64_t launches0 = pool.launches();
+  constexpr int kRuns = 5;
+  for (int r = 0; r < kRuns; ++r) {
+    TaskGraph g;
+    std::vector<TaskGraph::NodeId> ids;
+    for (index_t i = 0; i < 8; ++i) ids.push_back(g.add([] {}));
+    for (index_t i = 1; i < 8; ++i) g.add_edge(ids[i - 1], ids[i]);
+    g.run();
+  }
+  EXPECT_EQ(pool.threads_created(), threads0)
+      << "graph runs must not re-create pool threads";
+  if (pool.threads() > 1) {
+    EXPECT_EQ(pool.launches(), launches0 + kRuns)
+        << "each run() must cost exactly one pool launch";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: graph scheduling matches the level-synchronous path
+// ---------------------------------------------------------------------------
+
+/// The Laplace BIE pipeline of bench_table4: batched rsvd build, batched
+/// factorization, solve. The graph scheduler reorders work across levels but
+/// every per-problem kernel is the level path's serial code, so the results
+/// must agree to roundoff-free identity.
+TEST(SchedAgreement, LaplaceBieBuildFactorSolve) {
+  ASSERT_TRUE(g_env_ready);
+  ScopedEnv fault_env("HODLRX_FAULT", nullptr);
+  ScopedEnv sched_env("HODLRX_SCHED", "levels");
+  const index_t n = 512;
+  bie::BlobContour contour;
+  const bie::ContourDiscretization d = bie::discretize(contour, n);
+  bie::LaplaceExteriorBIE<double> gen(d, {0.0, 0.0});
+  const ClusterTree tree = ClusterTree::uniform(n, 64);
+  BuildOptions bopt;
+  bopt.compressor = Compressor::kRsvdBatched;
+  bopt.max_rank = 48;
+  bopt.tol = 1e-10;
+  bopt.rsvd_power_iterations = 2;
+  Matrix<double> b(n, 1);
+  for (index_t i = 0; i < n; ++i) b(i, 0) = std::sin(0.1 * i);
+
+  // Levels-mode reference.
+  const HodlrMatrix<double> hl = HodlrMatrix<double>::build(gen, tree, bopt);
+  const PackedHodlr<double> pl = PackedHodlr<double>::pack(hl);
+  const HodlrFactorization<double> fl =
+      HodlrFactorization<double>::factor(pl, {});
+  const Matrix<double> xl = fl.solve(b);
+
+  // Graph mode: same generator, same options; sched_stats must prove the
+  // graph path actually ran for both the build and the factorization.
+  setenv("HODLRX_SCHED", "graph", 1);
+  sched_stats::reset();
+  const HodlrMatrix<double> hg = HodlrMatrix<double>::build(gen, tree, bopt);
+  const std::uint64_t build_graphs = sched_stats::graphs_run();
+  EXPECT_GE(build_graphs, 1u) << "graph build did not use the scheduler";
+  const PackedHodlr<double> pg = PackedHodlr<double>::pack(hg);
+  const HodlrFactorization<double> fg =
+      HodlrFactorization<double>::factor(pg, {});
+  EXPECT_GT(sched_stats::graphs_run(), build_graphs)
+      << "graph factorization did not use the scheduler";
+  EXPECT_GT(sched_stats::nodes(), 0u);
+  const Matrix<double> xg = fg.solve(b);
+
+  EXPECT_LE(rel_error<double>(hg.to_dense(), hl.to_dense()), 1e-14)
+      << "graph-scheduled build diverged from the level-synchronous build";
+  EXPECT_LE(rel_error(xg, xl), 1e-13)
+      << "graph-scheduled factorization solves a different system";
+
+  // And both solve the actual operator.
+  Matrix<double> r(n, 1);
+  hl.apply(ConstMatrixView<double>(xg.view()), r.view());
+  axpy(-1.0, ConstMatrixView<double>(b.view()), r.view());
+  EXPECT_LE(norm_fro<double>(r) / norm_fro<double>(b.view()), 1e-7);
+}
+
+// ---------------------------------------------------------------------------
+// Fault recovery inside a graph run
+// ---------------------------------------------------------------------------
+
+/// svd.sweeps injected into a graph-scheduled batched build: the per-node
+/// recovery (serial Jacobi re-run at 4x budget) must heal transparently even
+/// though the firing node runs concurrently with other graph nodes.
+TEST(SchedFault, SvdSweepsHealsInsideGraphBuild) {
+  ASSERT_TRUE(g_env_ready);
+  ScopedEnv fault_env("HODLRX_FAULT", "svd.sweeps");
+  ScopedEnv sched_env("HODLRX_SCHED", "graph");
+  fault_stats::reset();
+  const index_t n = 128;
+  Matrix<double> a = test::smooth_test_matrix<double>(n, 617);
+  const ClusterTree tree = ClusterTree::uniform(n, 32);
+  BuildOptions bopt;
+  bopt.tol = 1e-10;
+  bopt.max_rank = 32;
+  bopt.compressor = Compressor::kRsvdBatched;
+  FactorReport rep;
+  const HodlrMatrix<double> h =
+      HodlrMatrix<double>::build_from_dense(a, tree, bopt, &rep);
+  EXPECT_GT(rep.svd_nonconverged, 0);
+  EXPECT_EQ(rep.svd_recovered, rep.svd_nonconverged);
+  EXPECT_EQ(fault_stats::injected(Site::kSvdSweeps), 1u);
+  EXPECT_EQ(fault_stats::injected(), fault_stats::recovered())
+      << "every injected fault must be healed by the recovery ladder";
+  EXPECT_LE(rel_error<double>(h.to_dense(), a), 1e-8);
+}
+
+}  // namespace
+}  // namespace hodlrx
