@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/config.hpp"
+
+/// \file access_audit.hpp
+/// Declared-access race auditor for TaskGraph (HODLRX_AUDIT=on).
+///
+/// The graph scheduler's correctness rests on humans wiring every
+/// cross-level edge by row overlap — an invariant TSan can only falsify when
+/// a schedule happens to interleave badly. The auditor checks it for EVERY
+/// schedule: graph-building code declares, per node, which rectangles of
+/// which address spaces the node reads and writes; at run() a happens-before
+/// checker verifies that every conflicting pair of accesses is ordered by
+/// the declared edge set, and reports the first unordered pair (both node
+/// labels, the space, the overlapping rectangle) as a structured Error
+/// BEFORE any node executes. docs/static-analysis.md describes the model and
+/// how to read a report.
+///
+/// Model:
+///  - A *space* is an opaque identity pointer (a buffer base, or the address
+///    of an owning object for storage that may reallocate). Rectangles in
+///    different spaces never conflict.
+///  - An *access* is a half-open rectangle [row0,row1) x [col0,col1) in that
+///    space, in whatever units the site finds natural (matrix rows/cols,
+///    flattened element offsets with cols [0,1), block indices).
+///  - Two accesses from different nodes *conflict* when the space matches,
+///    both intervals overlap, and at least one is a write — except that two
+///    kGuardedWrite accesses never conflict with each other: that mode
+///    models mutations serialized by a common mutex (the pivot-storage
+///    ensure path), which still require edges against unguarded readers.
+///  - The checker computes ancestor bitsets in topological order (a dense
+///    vector clock) and requires, for each conflicting pair, a directed path
+///    one way or the other.
+///
+/// Audit mode is captured per graph at TaskGraph construction; when off (the
+/// default) no auditor is allocated and every declaration is a null-pointer
+/// test — counter-asserted in test_scheduler to add zero overhead.
+
+namespace hodlrx {
+
+/// Reread from HODLRX_AUDIT per call ("on"/"1" enable), same convention as
+/// HODLRX_FAULT / HODLRX_SCHED.
+bool audit_enabled();
+
+/// Process-wide auditor counters (relaxed atomics, mirroring sched_stats).
+namespace audit_stats {
+/// Graphs whose declared accesses were verified at run().
+std::uint64_t graphs_audited();
+/// Access rectangles declared across all audited graphs.
+std::uint64_t accesses();
+/// Conflicting pairs tested for a happens-before path.
+std::uint64_t checks();
+/// Conflicting pairs found unordered (each also threw an Error).
+std::uint64_t violations();
+void reset();
+}  // namespace audit_stats
+
+/// One declared access rectangle. `space` is identity only — it is never
+/// dereferenced.
+struct AuditAccess {
+  enum class Mode { kRead, kWrite, kGuardedWrite };
+  const void* space;
+  index_t row0, row1;  ///< half-open row interval
+  index_t col0, col1;  ///< half-open column interval
+  Mode mode;
+};
+
+/// Collects labels, accesses, and edges for one TaskGraph, then verifies the
+/// declared-dependency closure. Owned by TaskGraph when HODLRX_AUDIT was on
+/// at graph construction; build-threaded like the graph itself.
+class AccessAuditor {
+ public:
+  /// Register node `id` (ids are dense, in add() order). `stage` is a
+  /// static-storage label; i/j are optional indices formatted as
+  /// "stage(i,j)" in reports (pass -1 to omit).
+  void add_node(index_t id, const char* stage, index_t i, index_t j);
+  void declare(index_t node, const AuditAccess& a);
+  void add_edge(index_t before, index_t after);
+
+  /// Verify every conflicting access pair is ordered by the declared edges;
+  /// throws Error naming both nodes on the first unordered pair. Graphs with
+  /// a cycle are left for the scheduler's own cycle detection.
+  void verify() const;
+
+  std::string label(index_t node) const;
+
+ private:
+  struct NodeTag {
+    const char* stage;
+    index_t i, j;
+  };
+  std::vector<NodeTag> tags_;
+  std::vector<AuditAccess> accesses_;
+  std::vector<index_t> access_node_;
+  std::vector<std::pair<index_t, index_t>> edges_;
+};
+
+}  // namespace hodlrx

@@ -1,13 +1,12 @@
 #include "common/task_graph.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <memory>
-#include <mutex>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 
@@ -52,20 +51,54 @@ void record_max_ready(std::uint64_t depth) {
 }  // namespace
 }  // namespace sched_stats
 
-TaskGraph::NodeId TaskGraph::add(std::function<void()> fn) {
-  HODLRX_REQUIRE(!ran_, "TaskGraph: add() after run()");
-  nodes_.push_back(Node{std::move(fn), {}, 0});
-  return static_cast<NodeId>(nodes_.size()) - 1;
+namespace sched_testing {
+namespace {
+/// Armed tag of the one-shot edge trap; graphs build single-threaded so a
+/// plain pointer suffices. Only tests touch this.
+const char* g_drop_tag = nullptr;
+}  // namespace
+void drop_next_tagged_edge(const char* tag) { g_drop_tag = tag; }
+}  // namespace sched_testing
+
+TaskGraph::TaskGraph() {
+  // Capture audit mode per graph: declarations made while building this
+  // graph are recorded (or not) consistently even if a test flips the
+  // environment mid-build.
+  if (audit_enabled()) auditor_ = std::make_unique<AccessAuditor>();
 }
 
-void TaskGraph::add_edge(NodeId before, NodeId after) {
+TaskGraph::~TaskGraph() = default;
+
+TaskGraph::NodeId TaskGraph::add(std::function<void()> fn, const char* stage,
+                                 index_t i, index_t j) {
+  HODLRX_REQUIRE(!ran_, "TaskGraph: add() after run()");
+  nodes_.push_back(Node{std::move(fn), {}, 0});
+  const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
+  if (auditor_) auditor_->add_node(id, stage, i, j);
+  return id;
+}
+
+void TaskGraph::add_edge(NodeId before, NodeId after, const char* tag) {
   HODLRX_REQUIRE(!ran_, "TaskGraph: add_edge() after run()");
   HODLRX_REQUIRE(before >= 0 && before < size() && after >= 0 &&
                      after < size() && before != after,
                  "TaskGraph: bad edge " << before << " -> " << after);
+  if (tag != nullptr && sched_testing::g_drop_tag != nullptr &&
+      std::strcmp(tag, sched_testing::g_drop_tag) == 0) {
+    sched_testing::g_drop_tag = nullptr;  // one-shot: drop exactly this edge
+    return;
+  }
   nodes_[static_cast<std::size_t>(before)].out.push_back(after);
   ++nodes_[static_cast<std::size_t>(after)].indegree;
   ++num_edges_;
+  if (auditor_) auditor_->add_edge(before, after);
+}
+
+void TaskGraph::declare(NodeId node, const void* space, index_t row0,
+                        index_t row1, index_t col0, index_t col1,
+                        AuditAccess::Mode mode) {
+  HODLRX_REQUIRE(!ran_, "TaskGraph: access declared after run()");
+  auditor_->declare(node, AuditAccess{space, row0, row1, col0, col1, mode});
 }
 
 namespace {
@@ -78,16 +111,20 @@ struct GraphRun {
     TaskGraph::NodeId id;
     int pusher;  ///< worker slot that made it ready; -1 for seeds
   };
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<Ready> ready;  ///< LIFO
-  index_t done = 0;
-  index_t inflight = 0;
-  bool failed = false;
-  std::exception_ptr error;
-  std::uint64_t steals = 0;
-  std::uint64_t max_ready = 0;
-  std::unique_ptr<std::atomic<index_t>[]> indeg;
+  Mutex mu;
+  CondVar cv;
+  std::vector<Ready> ready HODLRX_GUARDED_BY(mu);  ///< LIFO
+  index_t done HODLRX_GUARDED_BY(mu) = 0;
+  index_t inflight HODLRX_GUARDED_BY(mu) = 0;
+  bool failed HODLRX_GUARDED_BY(mu) = false;
+  std::exception_ptr error HODLRX_GUARDED_BY(mu);
+  std::uint64_t steals HODLRX_GUARDED_BY(mu) = 0;
+  std::uint64_t max_ready HODLRX_GUARDED_BY(mu) = 0;
+  std::unique_ptr<std::atomic<index_t>[]> indeg;  ///< self-synchronizing
+
+  bool finished(index_t n) const HODLRX_REQUIRES(mu) {
+    return failed ? inflight == 0 : done == n;
+  }
 };
 
 }  // namespace
@@ -97,6 +134,9 @@ void TaskGraph::run() {
   ran_ = true;
   const index_t n = size();
   if (n == 0) return;
+  // Audit before execution: a missing edge is reported as a structured
+  // Error while the data is still untouched, not after a racy run.
+  if (auditor_) auditor_->verify();
 
   GraphRun st;
   st.indeg.reset(new std::atomic<index_t>[static_cast<std::size_t>(n)]);
@@ -104,27 +144,27 @@ void TaskGraph::run() {
     st.indeg[static_cast<std::size_t>(i)].store(
         nodes_[static_cast<std::size_t>(i)].indegree,
         std::memory_order_relaxed);
-  st.ready.reserve(static_cast<std::size_t>(n));
-  for (index_t i = 0; i < n; ++i)
-    if (nodes_[static_cast<std::size_t>(i)].indegree == 0)
-      st.ready.push_back({i, -1});
-  HODLRX_REQUIRE(!st.ready.empty(), "TaskGraph: no source nodes (cycle)");
-  st.max_ready = st.ready.size();
-
-  const auto finished = [&st, n] {
-    return st.failed ? st.inflight == 0 : st.done == n;
-  };
+  {
+    // Workers exist only after this scope, but the guarded fields still want
+    // the lock held for the analysis (and the acquire pairs with theirs).
+    MutexLock lk(st.mu);
+    st.ready.reserve(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i)
+      if (nodes_[static_cast<std::size_t>(i)].indegree == 0)
+        st.ready.push_back({i, -1});
+    HODLRX_REQUIRE(!st.ready.empty(), "TaskGraph: no source nodes (cycle)");
+    st.max_ready = st.ready.size();
+  }
 
   const index_t workers = std::min<index_t>(max_threads(), n);
   const auto worker = [&](index_t slot) {
-    std::unique_lock<std::mutex> lk(st.mu);
+    MutexLock lk(st.mu);
     for (;;) {
       // Wait for work, completion, or quiescence (ready empty + nothing in
       // flight — with unfinished nodes that is an unsatisfiable dependency).
-      st.cv.wait(lk, [&] {
-        return !st.ready.empty() || finished() || st.inflight == 0;
-      });
-      if (finished() || st.failed) break;
+      while (st.ready.empty() && !st.finished(n) && st.inflight != 0)
+        st.cv.wait(st.mu);
+      if (st.finished(n) || st.failed) break;
       if (st.ready.empty()) {
         if (st.inflight == 0) {
           if (!st.error)
@@ -180,14 +220,26 @@ void TaskGraph::run() {
   // executes the graph serially on the caller.
   ThreadPool::instance().parallel_for(workers, /*dynamic=*/false, worker);
 
+  index_t done;
+  std::uint64_t steals, max_ready;
+  std::exception_ptr error;
+  {
+    // The launch joined all workers; the lock satisfies the analysis and
+    // costs one uncontended acquire.
+    MutexLock lk(st.mu);
+    done = st.done;
+    steals = st.steals;
+    max_ready = st.max_ready;
+    error = st.error;
+  }
   sched_stats::g_graphs.fetch_add(1, std::memory_order_relaxed);
-  sched_stats::g_nodes.fetch_add(static_cast<std::uint64_t>(st.done),
+  sched_stats::g_nodes.fetch_add(static_cast<std::uint64_t>(done),
                                  std::memory_order_relaxed);
   sched_stats::g_edges.fetch_add(static_cast<std::uint64_t>(num_edges_),
                                  std::memory_order_relaxed);
-  sched_stats::g_steals.fetch_add(st.steals, std::memory_order_relaxed);
-  sched_stats::record_max_ready(st.max_ready);
-  if (st.error) std::rethrow_exception(st.error);
+  sched_stats::g_steals.fetch_add(steals, std::memory_order_relaxed);
+  sched_stats::record_max_ready(max_ready);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace hodlrx

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "common/access_audit.hpp"
 #include "common/config.hpp"
 
 /// \file task_graph.hpp
@@ -69,6 +71,14 @@ std::uint64_t max_ready_depth();
 void reset();
 }  // namespace sched_stats
 
+/// Test-only hooks (tests/test_scheduler.cpp). drop_next_tagged_edge arms a
+/// one-shot trap: the next add_edge() carrying a matching tag is silently
+/// skipped — the mutation that proves the access auditor detects a missing
+/// cross-level edge. Pass nullptr to disarm.
+namespace sched_testing {
+void drop_next_tagged_edge(const char* tag);
+}  // namespace sched_testing
+
 /// A one-shot dependency graph of type-erased tasks. Build it single-
 /// threaded (add / add_edge), execute it once with run(). Not reusable and
 /// not thread-safe during construction; run() itself is internally
@@ -77,18 +87,49 @@ class TaskGraph {
  public:
   using NodeId = index_t;
 
-  TaskGraph() = default;
+  TaskGraph();
+  ~TaskGraph();
   TaskGraph(const TaskGraph&) = delete;
   TaskGraph& operator=(const TaskGraph&) = delete;
 
   /// Add a node; returns its id. Nodes with no incoming edges are seeded
-  /// ready at run().
-  NodeId add(std::function<void()> fn);
+  /// ready at run(). `stage` (a static-storage string) plus the optional
+  /// indices label the node in access-audit reports — "stage(i,j)"; when the
+  /// graph is not audited they are discarded without formatting.
+  NodeId add(std::function<void()> fn, const char* stage = nullptr,
+             index_t i = -1, index_t j = -1);
 
   /// `after` cannot start until `before` has completed. Successors become
   /// ready in reverse add_edge order (LIFO stack), so add the critical-path
-  /// edge of a node LAST to have its successor scheduled first.
-  void add_edge(NodeId before, NodeId after);
+  /// edge of a node LAST to have its successor scheduled first. `tag` names
+  /// the edge class for the sched_testing mutation hook; it has no effect on
+  /// execution.
+  void add_edge(NodeId before, NodeId after, const char* tag = nullptr);
+
+  /// Declared-access audit surface (docs/static-analysis.md). All three are
+  /// null-auditor no-ops unless HODLRX_AUDIT was on when the graph was
+  /// constructed; rectangles are half-open, `space` is identity only.
+  void reads(NodeId node, const void* space, index_t row0, index_t row1,
+             index_t col0 = 0, index_t col1 = 1) {
+    if (auditor_)
+      declare(node, space, row0, row1, col0, col1, AuditAccess::Mode::kRead);
+  }
+  void writes(NodeId node, const void* space, index_t row0, index_t row1,
+              index_t col0 = 0, index_t col1 = 1) {
+    if (auditor_)
+      declare(node, space, row0, row1, col0, col1, AuditAccess::Mode::kWrite);
+  }
+  /// A write serialized by a site-level mutex: never conflicts with other
+  /// guarded writes to the same space, still conflicts with plain accesses.
+  void writes_guarded(NodeId node, const void* space, index_t row0,
+                      index_t row1, index_t col0 = 0, index_t col1 = 1) {
+    if (auditor_)
+      declare(node, space, row0, row1, col0, col1,
+              AuditAccess::Mode::kGuardedWrite);
+  }
+
+  /// True when this graph captured HODLRX_AUDIT=on at construction.
+  bool audited() const { return auditor_ != nullptr; }
 
   index_t size() const { return static_cast<index_t>(nodes_.size()); }
   index_t num_edges() const { return num_edges_; }
@@ -103,9 +144,13 @@ class TaskGraph {
     std::vector<NodeId> out;  ///< successors
     index_t indegree = 0;
   };
+  void declare(NodeId node, const void* space, index_t row0, index_t row1,
+               index_t col0, index_t col1, AuditAccess::Mode mode);
+
   std::vector<Node> nodes_;
   index_t num_edges_ = 0;
   bool ran_ = false;
+  std::unique_ptr<AccessAuditor> auditor_;  ///< null unless HODLRX_AUDIT=on
 };
 
 }  // namespace hodlrx

@@ -1,12 +1,11 @@
 #include "common/thread_pool.hpp"
 
-#include <condition_variable>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/env.hpp"
 
 namespace hodlrx {
@@ -41,8 +40,8 @@ struct ThreadPool::Job {
   std::atomic<int> worker_slots{0};   ///< claimed worker slots (caller is 0)
   std::atomic<int> remaining{0};      ///< worker participants still running
   std::atomic<bool> failed{false};    ///< set on first exception: drain early
-  std::exception_ptr error;
-  std::mutex error_mu;
+  Mutex error_mu;
+  std::exception_ptr error HODLRX_GUARDED_BY(error_mu);
 
   void work(int slot) {
     try {
@@ -61,22 +60,28 @@ struct ThreadPool::Job {
         }
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lk(error_mu);
+      MutexLock lk(error_mu);
       if (!error) error = std::current_exception();
       failed.store(true, std::memory_order_relaxed);
     }
+  }
+
+  /// First captured exception, read by the launcher after the job drained.
+  std::exception_ptr take_error() {
+    MutexLock lk(error_mu);
+    return error;
   }
 };
 
 struct ThreadPool::Impl {
   std::vector<std::thread> workers;
-  std::mutex mu;                    ///< guards job/job_seq/stop
-  std::condition_variable cv;       ///< wakes workers on a new launch
-  std::condition_variable done_cv;  ///< wakes the caller on completion
-  std::shared_ptr<Job> job;
-  std::uint64_t job_seq = 0;
-  bool stop = false;
-  std::mutex launch_mu;  ///< serializes launches from distinct user threads
+  Mutex mu;
+  CondVar cv;       ///< wakes workers on a new launch
+  CondVar done_cv;  ///< wakes the caller on completion
+  std::shared_ptr<Job> job HODLRX_GUARDED_BY(mu);
+  std::uint64_t job_seq HODLRX_GUARDED_BY(mu) = 0;
+  bool stop HODLRX_GUARDED_BY(mu) = false;
+  Mutex launch_mu;  ///< serializes launches from distinct user threads
 };
 
 ThreadPool& ThreadPool::instance() {
@@ -97,7 +102,7 @@ ThreadPool::ThreadPool() : impl_(new Impl) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    MutexLock lk(impl_->mu);
     impl_->stop = true;
   }
   impl_->cv.notify_all();
@@ -111,9 +116,8 @@ void ThreadPool::worker_main() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lk(impl_->mu);
-      impl_->cv.wait(lk,
-                     [&] { return impl_->stop || impl_->job_seq != seen; });
+      MutexLock lk(impl_->mu);
+      while (!impl_->stop && impl_->job_seq == seen) impl_->cv.wait(impl_->mu);
       if (impl_->stop) return;
       seen = impl_->job_seq;
       job = impl_->job;
@@ -125,7 +129,7 @@ void ThreadPool::worker_main() {
     if (slot >= job->participants) continue;
     job->work(slot);
     if (job->remaining.fetch_sub(1) == 1) {
-      std::lock_guard<std::mutex> lk(impl_->mu);
+      MutexLock lk(impl_->mu);
       impl_->done_cv.notify_all();
     }
   }
@@ -150,7 +154,7 @@ void ThreadPool::run(index_t n, bool dynamic, void (*body)(void*, index_t),
     return;
   }
   launches_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> launch_lk(impl_->launch_mu);
+  MutexLock launch_lk(impl_->launch_mu);
   auto job = std::make_shared<Job>();
   job->body = body;
   job->ctx = ctx;
@@ -159,7 +163,7 @@ void ThreadPool::run(index_t n, bool dynamic, void (*body)(void*, index_t),
   job->participants = participants;
   job->remaining.store(job->participants - 1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    MutexLock lk(impl_->mu);
     impl_->job = job;
     ++impl_->job_seq;
   }
@@ -168,12 +172,11 @@ void ThreadPool::run(index_t n, bool dynamic, void (*body)(void*, index_t),
   job->work(/*slot=*/0);
   t_in_pool_region = false;
   if (job->participants > 1) {
-    std::unique_lock<std::mutex> lk(impl_->mu);
-    impl_->done_cv.wait(lk, [&] {
-      return job->remaining.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lk(impl_->mu);
+    while (job->remaining.load(std::memory_order_acquire) != 0)
+      impl_->done_cv.wait(impl_->mu);
   }
-  if (job->error) std::rethrow_exception(job->error);
+  if (auto err = job->take_error()) std::rethrow_exception(err);
 }
 
 }  // namespace hodlrx

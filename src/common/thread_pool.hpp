@@ -27,6 +27,11 @@
 /// wrappers had for nested regions). Exceptions thrown by the body are
 /// captured, the launch drains early, and the first exception is rethrown on
 /// the calling thread.
+///
+/// The pool's internal shared state (job slot, sequence counter, stop flag,
+/// captured exception) is declared with the clang thread-safety annotations
+/// from common/annotations.hpp and checked by the -Wthread-safety CI build
+/// (docs/static-analysis.md).
 
 namespace hodlrx {
 

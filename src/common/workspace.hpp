@@ -16,6 +16,17 @@
 /// OpenMP) contend on the heap lock. `WorkspaceArena::local()` hands each
 /// thread a small set of reusable 64-byte-aligned buffers that only ever
 /// grow, so steady-state packing performs zero allocations.
+///
+/// Concurrency discipline: the arena is strictly THREAD-CONFINED — local()
+/// is the only way to reach one, and the slot table has no mutex on purpose,
+/// so there is nothing for the clang thread-safety annotations
+/// (common/annotations.hpp) to guard. Never stash a slot pointer where
+/// another thread (a pool worker, a TaskGraph node body) can see it: a
+/// get() on the owning thread may reallocate or drop the buffer under the
+/// borrower. Cross-node workspace handoffs in graph-scheduled sweeps use
+/// dedicated buffers instead and declare them to the access auditor
+/// (common/access_audit.hpp), which verifies the graph edges order every
+/// reader against the slot's refill.
 
 namespace hodlrx {
 

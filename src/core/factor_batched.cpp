@@ -1,9 +1,9 @@
 #include <algorithm>
 #include <complex>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/parallel.hpp"
@@ -295,7 +295,7 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
   const index_t ldy = f.ybig_.rows();
 
   TaskGraph gph;
-  std::mutex rec_mu;  // serializes report mutations + lazy pivot storage
+  Mutex rec_mu;  // serializes report mutations + lazy pivot storage
 
   const index_t nthreads = max_threads();
   const auto chunks_of = [nthreads](index_t m) {
@@ -345,7 +345,14 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
         }
         getrs_batched<T>(lu, cpiv, rhs, policy);
       }
-    });
+    }, "leafLU", ch);
+    // Audit: the chunk LU-factors its leaves (model the factor/pivot
+    // storage as one space in matrix-row units — chunks are disjoint) and
+    // panel-solves its Y rows across every column.
+    const Span& ls = leaf_nodes[static_cast<std::size_t>(ch)];
+    gph.writes(ls.node, f.d_ipiv_.data(), ls.row0, ls.row1);
+    if (f.total_cols_ > 0)
+      gph.writes(ls.node, ydata, ls.row0, ls.row1, 0, f.total_cols_);
   }
 
   // Per-level W slices of one buffer (summed, not maxed: two levels' W
@@ -365,6 +372,10 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
   // prefix/panel columns the next shallower level reads: the leaf-solve
   // chunks initially, then each level's prefix chunks.
   std::vector<Span> writers = leaf_nodes;
+  // Whether `writers` currently holds prefix chunks (vs the initial leaf
+  // solves): prefix -> T/W edges carry the "xlevel" tag so the audit
+  // mutation test (test_scheduler) can delete exactly one of them.
+  bool writers_are_prefix = false;
 
   for (index_t l = L - 1; l >= 0; --l) {
     const index_t r = f.level_rank_[l + 1];
@@ -397,6 +408,12 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
       const index_t k0 = ch * q / qch;
       const index_t k1 = (ch + 1) * q / qch;
       const index_t qn = k1 - k0;
+      // The chunk's Y row range (parents k0..k1-1 of level l), used by both
+      // the audit declarations here and the cross-level edges below.
+      const ClusterNode& rn0 = tree.node(ClusterTree::level_begin(l) + k0);
+      const ClusterNode& rn1 = tree.node(ClusterTree::level_begin(l) + k1 - 1);
+      const index_t row0 = rn0.begin;
+      const index_t row1 = rn1.begin + rn1.size();
 
       // --- T(l) chunk: K assembly GEMMs + identity fill ------------------
       t_nodes[static_cast<std::size_t>(ch)] = gph.add([=, &tree] {
@@ -437,7 +454,12 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
         }
         for (index_t k = k0; k < k1; ++k)
           fill_k_identities(kl->block(k), r, kform);
-      });
+      }, "T", l, ch);
+      // Audit: reads the chunk's Y panel columns, writes its K blocks
+      // (block-index units — kdata is a per-level space).
+      gph.reads(t_nodes[static_cast<std::size_t>(ch)], ydata, row0, row1,
+                panel, panel + r);
+      gph.writes(t_nodes[static_cast<std::size_t>(ch)], kdata, k0, k1);
 
       // --- K-LU(l) chunk (with the per-chunk recovery ladder) ------------
       klu_nodes[static_cast<std::size_t>(ch)] = gph.add([=, &rec_mu] {
@@ -465,7 +487,7 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
             getrf_nopivot_batched<T>(kb, policy);
           } catch (const Error& e) {
             if (report != nullptr) {
-              std::lock_guard<std::mutex> lk(rec_mu);
+              MutexLock lk(rec_mu);
               ++report->lu_breakdowns;
               report->events.push_back(
                   "factor: batched pivot-free LU broke down on level " +
@@ -475,7 +497,7 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
             std::copy(snap.begin(), snap.end(),
                       kl->data.begin() + static_cast<std::ptrdiff_t>(b0));
             {
-              std::lock_guard<std::mutex> lk(rec_mu);
+              MutexLock lk(rec_mu);
               ensure_pivot_storage(*kl);
             }
             std::vector<index_t*> piv(static_cast<std::size_t>(qn));
@@ -486,7 +508,7 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
               kl->pivoted[static_cast<std::size_t>(k)] = 1;
             fault_stats::detail::add_recovered(fault::Site::kGetrfPivot);
             if (report != nullptr) {
-              std::lock_guard<std::mutex> lk(rec_mu);
+              MutexLock lk(rec_mu);
               report->lu_pivot_retries += qn;
               report->events.push_back(
                   "factor: level " + std::to_string(l) + " (" +
@@ -495,7 +517,20 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
             }
           }
         }
-      });
+      }, "K-LU", l, ch);
+      // Audit: factors the chunk's K blocks in place. Pivot storage
+      // (&kl->ipiv: identity for the level's ipiv+pivoted vectors, which
+      // may reallocate) is written per chunk when the level is pivoted
+      // up front; the recovery ladder's lazy allocation + pivot writes are
+      // serialized by rec_mu, declared as a guarded write over the whole
+      // level — mutually non-conflicting, but every unguarded Ksolve read
+      // still needs an ordering edge (the all-to-all K-LU -> Ksolve set).
+      gph.writes(klu_nodes[static_cast<std::size_t>(ch)], kdata, k0, k1);
+      if (pivoted)
+        gph.writes(klu_nodes[static_cast<std::size_t>(ch)], &kl->ipiv, k0, k1);
+      else if (on_bd != OnBreakdown::kThrow)
+        gph.writes_guarded(klu_nodes[static_cast<std::size_t>(ch)], &kl->ipiv,
+                           0, q);
       gph.add_edge(t_nodes[static_cast<std::size_t>(ch)],
                    klu_nodes[static_cast<std::size_t>(ch)]);
 
@@ -544,7 +579,13 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
           }
           gemm_batched<T>(Op::C, Op::N, T{1}, av, bv, T{0}, cv, policy);
         }
-      });
+      }, "W", l, ch);
+      // Audit: reads the chunk's Y prefix columns, writes its rows of the
+      // level's W slice (element-row units within the slice).
+      gph.reads(w_nodes[static_cast<std::size_t>(ch)], ydata, row0, row1, 0,
+                panel);
+      gph.writes(w_nodes[static_cast<std::size_t>(ch)], wdata, 2 * k0 * r,
+                 2 * k1 * r, 0, panel);
 
       // --- Ksolve(l) chunk ----------------------------------------------
       ks_nodes[static_cast<std::size_t>(ch)] = gph.add([=] {
@@ -564,7 +605,13 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
         }
         if (!lu_p.empty()) getrs_batched<T>(lu_p, piv_p, rhs_p, policy);
         if (!lu_n.empty()) getrs_nopivot_batched<T>(lu_n, rhs_n, policy);
-      });
+      }, "Ksolve", l, ch);
+      // Audit: reads the chunk's factored K blocks and their pivots,
+      // solves its W rows in place.
+      gph.reads(ks_nodes[static_cast<std::size_t>(ch)], kdata, k0, k1);
+      gph.reads(ks_nodes[static_cast<std::size_t>(ch)], &kl->ipiv, k0, k1);
+      gph.writes(ks_nodes[static_cast<std::size_t>(ch)], wdata, 2 * k0 * r,
+                 2 * k1 * r, 0, panel);
       gph.add_edge(w_nodes[static_cast<std::size_t>(ch)],
                    ks_nodes[static_cast<std::size_t>(ch)]);
 
@@ -591,7 +638,15 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
           }
           gemm_batched<T>(Op::N, Op::N, T{-1}, av, bv, T{1}, cv, policy);
         }
-      });
+      }, "prefix", l, ch);
+      // Audit: reads the chunk's Y panel columns and solved W rows,
+      // accumulates into its Y prefix columns.
+      gph.reads(pf_nodes[static_cast<std::size_t>(ch)], ydata, row0, row1,
+                panel, panel + r);
+      gph.reads(pf_nodes[static_cast<std::size_t>(ch)], wdata, 2 * k0 * r,
+                2 * k1 * r, 0, panel);
+      gph.writes(pf_nodes[static_cast<std::size_t>(ch)], ydata, row0, row1, 0,
+                 panel);
       gph.add_edge(ks_nodes[static_cast<std::size_t>(ch)],
                    pf_nodes[static_cast<std::size_t>(ch)]);
     }
@@ -608,11 +663,12 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
       const ClusterNode& n1 = tree.node(ClusterTree::level_begin(l) + k1 - 1);
       const index_t row0 = n0.begin;
       const index_t row1 = n1.begin + n1.size();
+      const char* const xtag = writers_are_prefix ? "xlevel" : nullptr;
       for (const Span& w : writers)
         if (w.row0 < row1 && row0 < w.row1) {
-          gph.add_edge(w.node, t_nodes[static_cast<std::size_t>(ch)]);
+          gph.add_edge(w.node, t_nodes[static_cast<std::size_t>(ch)], xtag);
           if (panel > 0)
-            gph.add_edge(w.node, w_nodes[static_cast<std::size_t>(ch)]);
+            gph.add_edge(w.node, w_nodes[static_cast<std::size_t>(ch)], xtag);
         }
       // K-LU -> Ksolve is all-to-all within the level (not chunk-to-
       // chunk): the recovery ladder of ANY chunk may reallocate the
@@ -623,6 +679,7 @@ void FactorEngine<T>::run_factor_batched_graph(F& f, FactorReport* report) {
     }
     if (panel > 0) {
       writers.clear();
+      writers_are_prefix = true;
       for (index_t ch = 0; ch < qch; ++ch) {
         const index_t k0 = ch * q / qch;
         const index_t k1 = (ch + 1) * q / qch;

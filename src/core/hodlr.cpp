@@ -282,19 +282,49 @@ void store_side_factors(HodlrMatrix<T>& h, const SweepSide& side,
 
 /// Graph-node version of the non-uniform-level and leaf tasks shared by
 /// both builds: add one independent node per off-diagonal block of every
-/// non-uniform level and one per leaf diagonal block.
+/// non-uniform level and one per leaf diagonal block. `hspace` is the audit
+/// identity of the factor storage (see factor_space_docs below): U factors
+/// live in column 0 at row nu, V factors in column 1, leaf blocks in column
+/// 2 at the leaf index.
 template <typename T, typename BlockFn, typename LeafFn>
 void add_irregular_nodes(TaskGraph& gph, const ClusterTree& tree,
-                         BlockFn&& block_fn, LeafFn&& leaf_fn) {
+                         const void* hspace, BlockFn&& block_fn,
+                         LeafFn&& leaf_fn) {
   for (index_t level = 1; level <= tree.depth(); ++level) {
     if (uniform_level_size(tree, level) > 0) continue;
     const index_t begin = ClusterTree::level_begin(level);
     const index_t count = ClusterTree::nodes_at_level(level);
-    for (index_t t = 0; t < count; ++t)
-      gph.add([block_fn, level, nu = begin + t] { block_fn(level, nu); });
+    for (index_t t = 0; t < count; ++t) {
+      const index_t nu = begin + t;
+      const TaskGraph::NodeId id =
+          gph.add([block_fn, level, nu] { block_fn(level, nu); }, "block",
+                  level, nu);
+      gph.writes(id, hspace, nu, nu + 1, 0, 1);
+      gph.writes(id, hspace, ClusterTree::sibling(nu),
+                 ClusterTree::sibling(nu) + 1, 1, 2);
+    }
   }
-  for (index_t j = 0; j < tree.num_leaves(); ++j)
-    gph.add([leaf_fn, j] { leaf_fn(j); });
+  for (index_t j = 0; j < tree.num_leaves(); ++j) {
+    const TaskGraph::NodeId id = gph.add([leaf_fn, j] { leaf_fn(j); }, "leaf", j);
+    gph.writes(id, hspace, j, j + 1, 2, 3);
+  }
+}
+
+/// Declare one compress node's factor-store writes: side `side` moves U/V
+/// factors into h for each of its q sibling pairs. Upper sides write U at
+/// the even node of the pair and V at the odd one; lower sides the reverse —
+/// disjoint per-element rectangles, so the auditor proves the two sides of a
+/// level (and all levels) may run unordered.
+inline void declare_side_stores(TaskGraph& gph, TaskGraph::NodeId id,
+                                const void* hspace, const SweepSide& side) {
+  for (index_t j = 0; j < side.q; ++j) {
+    const index_t nu = side.begin + 2 * j;
+    const index_t sib = nu + 1;
+    const index_t u_at = side.upper ? nu : sib;
+    const index_t v_at = side.upper ? sib : nu;
+    gph.writes(id, hspace, u_at, u_at + 1, 0, 1);
+    gph.writes(id, hspace, v_at, v_at + 1, 1, 2);
+  }
 }
 
 /// Dependency-graph twin of build_from_dense_rsvd: every uniform level side
@@ -315,7 +345,7 @@ HodlrMatrix<T> build_from_dense_rsvd_graph(ConstMatrixView<T> a,
   TaskGraph gph;
   for (std::size_t k = 0; k < sides.size(); ++k) {
     const SweepSide side = sides[k];
-    gph.add([&, side, k] {
+    const TaskGraph::NodeId id = gph.add([&, side, k] {
       const index_t b0 = tree.node(side.begin).begin;
       const index_t stride = 2 * side.s * (a.ld + 1);
       const T* base_ptr = side.upper
@@ -328,10 +358,11 @@ HodlrMatrix<T> build_from_dense_rsvd_graph(ConstMatrixView<T> a,
       auto fs = rsvd_strided_batched<T>(base_ptr, a.ld, stride, side.s,
                                         side.s, side.q, ropt);
       store_side_factors<T>(h, side, std::move(fs));
-    });
+    }, "compress", side.level, side.upper ? 0 : 1);
+    declare_side_stores(gph, id, &h, side);
   }
   add_irregular_nodes<T>(
-      gph, tree,
+      gph, tree, &h,
       [&](index_t level, index_t nu) {
         const index_t sib = ClusterTree::sibling(nu);
         const ClusterNode& rowc = tree.node(nu);
@@ -407,7 +438,12 @@ HodlrMatrix<T> build_from_generator_rsvd_graph(const MatrixGenerator<T>& g,
       auto fs = rsvd_strided_batched<T>(wdata, side.s, side.s * side.s,
                                         side.s, side.s, side.q, ropt);
       store_side_factors<T>(h, side, std::move(fs));
-    });
+    }, "compress", side.level, side.upper ? 0 : 1);
+    // Audit: the compress node reads the whole staged slot (flattened
+    // element offsets; the slot base is the space identity) and stores the
+    // side's factors.
+    gph.reads(compress_node[k], wdata, 0, side.q * side.s * side.s);
+    declare_side_stores(gph, compress_node[k], &h, side);
   }
   for (std::size_t k = 0; k < sides.size(); ++k) {
     const SweepSide side = sides[k];
@@ -420,15 +456,20 @@ HodlrMatrix<T> build_from_generator_rsvd_graph(const MatrixGenerator<T>& g,
         g.fill_block(row0, col0,
                      MatrixView<T>{wdata + j * side.s * side.s, side.s,
                                    side.s, side.s});
-      });
+      }, "tile-fill", static_cast<index_t>(k), j);
+      // Audit: tile j overwrites its slice of the shared slot. The recycle
+      // edges below are exactly what orders these writes against the
+      // previous tenant's compress read — the auditor proves the
+      // double-buffer chain is complete.
+      gph.writes(fill, wdata, j * side.s * side.s, (j + 1) * side.s * side.s);
       // Workspace recycling: this side's tiles overwrite the slot the
       // side-before-last compressed out of.
-      if (k >= 2) gph.add_edge(compress_node[k - 2], fill);
+      if (k >= 2) gph.add_edge(compress_node[k - 2], fill, "ws-recycle");
       gph.add_edge(fill, compress_node[k]);
     }
   }
   add_irregular_nodes<T>(
-      gph, tree,
+      gph, tree, &h,
       [&](index_t level, index_t nu) {
         const index_t sib = ClusterTree::sibling(nu);
         const ClusterNode& rowc = tree.node(nu);

@@ -19,11 +19,12 @@ void DeviceContext::alloc_bytes(std::size_t n) {
   // live count and poisoned later capacity checks.
   std::size_t cur = live_.load();
   std::size_t now;
+  const std::size_t cap = capacity_bytes();
   do {
     now = cur + n;
-    HODLRX_REQUIRE(now <= capacity_,
+    HODLRX_REQUIRE(now <= cap,
                    "device out of memory: " << now << " bytes live exceeds "
-                                            << capacity_ << " capacity");
+                                            << cap << " capacity");
   } while (!live_.compare_exchange_weak(cur, now));
   // Monotone peak update.
   std::size_t prev = peak_.load();
@@ -45,11 +46,11 @@ void DeviceContext::free_bytes(std::size_t n) {
 
 void DeviceContext::record_launch() {
   launches_.fetch_add(1);
-  if (launch_latency_us_ > 0.0) {
+  const double latency_us = launch_latency_us();
+  if (latency_us > 0.0) {
     // Busy-wait: sleep granularity is far coarser than a GPU launch.
     const auto t0 = std::chrono::steady_clock::now();
-    const auto dt = std::chrono::duration<double, std::micro>(
-        launch_latency_us_);
+    const auto dt = std::chrono::duration<double, std::micro>(latency_us);
     while (std::chrono::steady_clock::now() - t0 < dt) {
     }
   }

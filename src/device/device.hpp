@@ -36,8 +36,12 @@ class DeviceContext {
   void free_bytes(std::size_t n);
   std::size_t live_bytes() const { return live_.load(); }
   std::size_t peak_bytes() const { return peak_.load(); }
-  std::size_t capacity_bytes() const { return capacity_; }
-  void set_capacity_bytes(std::size_t c) { capacity_ = c; }
+  std::size_t capacity_bytes() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+  void set_capacity_bytes(std::size_t c) {
+    capacity_.store(c, std::memory_order_relaxed);
+  }
 
   // --- transfers ----------------------------------------------------------
   /// Record (and perform, trivially: the memory is shared) a host-to-device
@@ -48,18 +52,26 @@ class DeviceContext {
   std::size_t d2h_bytes() const { return d2h_.load(); }
   /// Modeled seconds to move n bytes over the link.
   double modeled_transfer_seconds(std::size_t n) const {
-    return static_cast<double>(n) / (bandwidth_gbs_ * 1e9);
+    return static_cast<double>(n) / (bandwidth_gbs() * 1e9);
   }
-  void set_bandwidth_gbs(double gbs) { bandwidth_gbs_ = gbs; }
-  double bandwidth_gbs() const { return bandwidth_gbs_; }
+  void set_bandwidth_gbs(double gbs) {
+    bandwidth_gbs_.store(gbs, std::memory_order_relaxed);
+  }
+  double bandwidth_gbs() const {
+    return bandwidth_gbs_.load(std::memory_order_relaxed);
+  }
 
   // --- kernel launches ----------------------------------------------------
   /// Record one batched-kernel launch; optionally injects the configured
   /// per-launch latency (busy wait) to emulate GPU launch overhead.
   void record_launch();
   std::uint64_t launches() const { return launches_.load(); }
-  void set_launch_latency_us(double us) { launch_latency_us_ = us; }
-  double launch_latency_us() const { return launch_latency_us_; }
+  void set_launch_latency_us(double us) {
+    launch_latency_us_.store(us, std::memory_order_relaxed);
+  }
+  double launch_latency_us() const {
+    return launch_latency_us_.load(std::memory_order_relaxed);
+  }
 
   /// Reset the transfer/launch counters and rebase the peak to the current
   /// live bytes. `live_` itself is NOT reset: it is owned by the
@@ -70,9 +82,13 @@ class DeviceContext {
  private:
   std::atomic<std::size_t> live_{0}, peak_{0}, h2d_{0}, d2h_{0};
   std::atomic<std::uint64_t> launches_{0};
-  std::size_t capacity_ = 32ull << 30;  // V100: 32 GB
-  double bandwidth_gbs_ = 12.0;         // paper: ~12 GB/s achieved
-  double launch_latency_us_ = 0.0;
+  // Configuration knobs are atomics too: tests and a future serving layer
+  // tune them while launches are in flight on other threads, and a torn
+  // double read under the capacity check would be a real (if benign-looking)
+  // race. Relaxed ordering — each knob is an independent scalar.
+  std::atomic<std::size_t> capacity_{32ull << 30};  // V100: 32 GB
+  std::atomic<double> bandwidth_gbs_{12.0};  // paper: ~12 GB/s achieved
+  std::atomic<double> launch_latency_us_{0.0};
 };
 
 /// RAII registration of a device-memory allocation (move-only).

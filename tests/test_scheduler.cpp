@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "bie/laplace.hpp"
+#include "common/access_audit.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/lapack.hpp"
 #include "common/task_graph.hpp"
 #include "common/thread_pool.hpp"
 #include "core/factorization.hpp"
@@ -148,6 +150,70 @@ TEST(TaskGraph, StatsCountersAccumulate) {
   EXPECT_EQ(sched_stats::nodes(), 0u);
 }
 
+TEST(TaskGraph, SingleNodeGraphRuns) {
+  TaskGraph g;
+  bool ran = false;
+  g.add([&] { ran = true; });
+  EXPECT_EQ(g.size(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+  g.run();
+  EXPECT_TRUE(ran);
+}
+
+/// The same edge added twice is counted twice (the builder does not dedup —
+/// sites rely on that being cheap) but must not change execution: the
+/// successor still runs exactly once, after its predecessor.
+TEST(TaskGraph, DuplicateEdgeRunsSuccessorOnce) {
+  TaskGraph g;
+  std::atomic<int> a_runs{0}, b_runs{0};
+  const TaskGraph::NodeId a = g.add([&] { a_runs.fetch_add(1); });
+  const TaskGraph::NodeId b = g.add([&] {
+    EXPECT_EQ(a_runs.load(), 1) << "b ran before a despite the edges";
+    b_runs.fetch_add(1);
+  });
+  g.add_edge(a, b);
+  g.add_edge(a, b);  // duplicate
+  EXPECT_EQ(g.num_edges(), 2);
+  g.run();
+  EXPECT_EQ(a_runs.load(), 1);
+  EXPECT_EQ(b_runs.load(), 1) << "duplicate edge double-released the node";
+}
+
+/// An exception from the very first node (the only source): nothing else can
+/// ever become ready, and run() must still drain and rethrow rather than
+/// deadlock waiting for successors.
+TEST(TaskGraph, ExceptionFromFirstNode) {
+  TaskGraph g;
+  std::atomic<bool> any_successor_ran{false};
+  const TaskGraph::NodeId root =
+      g.add([] { throw std::runtime_error("first node failure"); });
+  for (int i = 0; i < 4; ++i) {
+    const TaskGraph::NodeId s =
+        g.add([&] { any_successor_ran.store(true); });
+    g.add_edge(root, s);
+  }
+  EXPECT_THROW(g.run(), std::runtime_error);
+  EXPECT_FALSE(any_successor_ran.load());
+}
+
+/// A cycle in one connected component must be detected even while a fully
+/// independent component executes normally (quiescence, not per-component
+/// progress, triggers the check).
+TEST(TaskGraph, CycleInDisconnectedComponentDetected) {
+  TaskGraph g;
+  std::atomic<int> healthy_runs{0};
+  const TaskGraph::NodeId h1 = g.add([&] { healthy_runs.fetch_add(1); });
+  const TaskGraph::NodeId h2 = g.add([&] { healthy_runs.fetch_add(1); });
+  g.add_edge(h1, h2);
+  const TaskGraph::NodeId c1 = g.add([] {});  // component 2: pure 2-cycle
+  const TaskGraph::NodeId c2 = g.add([] {});
+  g.add_edge(c1, c2);
+  g.add_edge(c2, c1);
+  EXPECT_THROW(g.run(), Error);
+  EXPECT_EQ(healthy_runs.load(), 2)
+      << "the healthy component must finish before the cycle is reported";
+}
+
 /// A throwing node fails the run with ITS exception; successors of the
 /// failed node are never issued (their in-degree never drops).
 TEST(TaskGraph, ExceptionPropagatesAndSuccessorsDoNotRun) {
@@ -213,6 +279,210 @@ TEST(TaskGraph, RunsReuseTheWarmPool) {
     EXPECT_EQ(pool.launches(), launches0 + kRuns)
         << "each run() must cost exactly one pool launch";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Declared-access audit (HODLRX_AUDIT, docs/static-analysis.md)
+// ---------------------------------------------------------------------------
+
+/// Audit off (the default): no auditor is allocated, declarations are a null
+/// check, and every audit counter stays at zero — the counter-assert that
+/// HODLRX_AUDIT=off costs nothing on the graph-build path.
+TEST(AccessAudit, OffByDefaultWithZeroOverhead) {
+  ScopedEnv audit_env("HODLRX_AUDIT", nullptr);
+  audit_stats::reset();
+  int buf[8] = {};
+  TaskGraph g;
+  EXPECT_FALSE(g.audited());
+  const TaskGraph::NodeId a = g.add([] {}, "writer", 0);
+  const TaskGraph::NodeId b = g.add([] {}, "writer", 1);
+  g.writes(a, buf, 0, 8);
+  g.writes(b, buf, 0, 8);  // unordered conflict — must NOT be seen when off
+  g.run();
+  EXPECT_EQ(audit_stats::accesses(), 0u);
+  EXPECT_EQ(audit_stats::checks(), 0u);
+  EXPECT_EQ(audit_stats::graphs_audited(), 0u);
+  EXPECT_EQ(audit_stats::violations(), 0u);
+}
+
+TEST(AccessAudit, UnorderedConflictIsReportedBeforeExecution) {
+  ScopedEnv audit_env("HODLRX_AUDIT", "on");
+  audit_stats::reset();
+  int buf[8] = {};
+  TaskGraph g;
+  EXPECT_TRUE(g.audited());
+  std::atomic<bool> executed{false};
+  const TaskGraph::NodeId a = g.add([&] { executed.store(true); }, "fill", 0);
+  const TaskGraph::NodeId b = g.add([&] { executed.store(true); }, "drain", 1);
+  g.writes(a, buf, 0, 8);
+  g.reads(b, buf, 4, 12);  // overlaps [4,8), no edge
+  try {
+    g.run();
+    FAIL() << "unordered write/read pair must throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("access audit"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fill(0)"), std::string::npos)
+        << "report must name the writing node: " << msg;
+    EXPECT_NE(msg.find("drain(1)"), std::string::npos)
+        << "report must name the reading node: " << msg;
+    EXPECT_NE(msg.find("edge is missing"), std::string::npos) << msg;
+  }
+  EXPECT_FALSE(executed.load())
+      << "verification must reject the graph before any node runs";
+  EXPECT_EQ(audit_stats::violations(), 1u);
+}
+
+TEST(AccessAudit, DeclaredEdgeOrdersTheConflict) {
+  ScopedEnv audit_env("HODLRX_AUDIT", "on");
+  audit_stats::reset();
+  int buf[8] = {};
+  TaskGraph g;
+  const TaskGraph::NodeId a = g.add([] {}, "fill", 0);
+  const TaskGraph::NodeId b = g.add([] {}, "drain", 1);
+  g.writes(a, buf, 0, 8);
+  g.reads(b, buf, 4, 12);
+  g.add_edge(a, b);
+  g.run();  // ordered -> clean
+  EXPECT_EQ(audit_stats::graphs_audited(), 1u);
+  EXPECT_GE(audit_stats::checks(), 1u);
+  EXPECT_EQ(audit_stats::violations(), 0u);
+}
+
+/// Happens-before is the transitive closure of the edges, not edge adjacency:
+/// a -> m -> b orders a's write against b's read with no direct a -> b edge.
+TEST(AccessAudit, TransitivePathSuffices) {
+  ScopedEnv audit_env("HODLRX_AUDIT", "on");
+  audit_stats::reset();
+  int buf[4] = {};
+  TaskGraph g;
+  const TaskGraph::NodeId a = g.add([] {}, "produce");
+  const TaskGraph::NodeId m = g.add([] {}, "relay");
+  const TaskGraph::NodeId b = g.add([] {}, "consume");
+  g.writes(a, buf, 0, 4);
+  g.reads(b, buf, 0, 4);
+  g.add_edge(a, m);
+  g.add_edge(m, b);
+  g.run();
+  EXPECT_EQ(audit_stats::violations(), 0u);
+  EXPECT_GE(audit_stats::checks(), 1u);
+}
+
+/// kGuardedWrite models mutations serialized by a site mutex (the pivot-
+/// storage ensure path): guarded-vs-guarded needs no edge, but a guarded
+/// write against a plain read still does.
+TEST(AccessAudit, GuardedWritesOnlyConflictWithPlainAccesses) {
+  ScopedEnv audit_env("HODLRX_AUDIT", "on");
+  int buf[4] = {};
+  {
+    TaskGraph g;
+    const TaskGraph::NodeId a = g.add([] {}, "ensure", 0);
+    const TaskGraph::NodeId b = g.add([] {}, "ensure", 1);
+    g.writes_guarded(a, buf, 0, 4);
+    g.writes_guarded(b, buf, 0, 4);
+    g.run();  // both under the site mutex: no edge required
+  }
+  {
+    TaskGraph g;
+    const TaskGraph::NodeId a = g.add([] {}, "ensure", 0);
+    const TaskGraph::NodeId b = g.add([] {}, "reader", 1);
+    g.writes_guarded(a, buf, 0, 4);
+    g.reads(b, buf, 0, 4);  // mutex does not order the unguarded reader
+    EXPECT_THROW(g.run(), Error);
+  }
+}
+
+TEST(AccessAudit, DistinctSpacesNeverConflict) {
+  ScopedEnv audit_env("HODLRX_AUDIT", "on");
+  audit_stats::reset();
+  int buf_a[4] = {}, buf_b[4] = {};
+  TaskGraph g;
+  const TaskGraph::NodeId a = g.add([] {}, "writerA");
+  const TaskGraph::NodeId b = g.add([] {}, "writerB");
+  g.writes(a, buf_a, 0, 4);
+  g.writes(b, buf_b, 0, 4);  // same rectangle, different space
+  g.run();
+  EXPECT_EQ(audit_stats::checks(), 0u);
+  EXPECT_EQ(audit_stats::violations(), 0u);
+  EXPECT_EQ(audit_stats::graphs_audited(), 1u);
+}
+
+/// THE mutation test: delete exactly one cross-level prefix -> T edge from
+/// the batched factorization DAG (the "xlevel" tag, one-shot) and the
+/// auditor must reject the graph with a structured Error naming both nodes.
+/// The deleted pair has no alternative ordering path — prefix chunks of
+/// level l+1 are the ONLY writers of the Y panel columns level l's T stage
+/// reads — so detection is deterministic, not schedule-dependent.
+TEST(AccessAudit, MissingCrossLevelEdgeIsDetected) {
+  ASSERT_TRUE(g_env_ready);
+  ScopedEnv fault_env("HODLRX_FAULT", nullptr);
+  ScopedEnv sched_env("HODLRX_SCHED", "graph");
+  ScopedEnv audit_env("HODLRX_AUDIT", "on");
+  const index_t n = 256;
+  Matrix<double> a = test::smooth_test_matrix<double>(n, 911);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;  // well-conditioned LU
+  const ClusterTree tree = ClusterTree::uniform(n, 32);
+  BuildOptions bopt;
+  bopt.compressor = Compressor::kRsvdBatched;
+  bopt.max_rank = 24;
+  bopt.tol = 1e-10;
+  const HodlrMatrix<double> h =
+      HodlrMatrix<double>::build_from_dense(a, tree, bopt);
+  const PackedHodlr<double> p = PackedHodlr<double>::pack(h);
+
+  audit_stats::reset();
+  sched_testing::drop_next_tagged_edge("xlevel");
+  try {
+    const HodlrFactorization<double> f = HodlrFactorization<double>::factor(p, {});
+    sched_testing::drop_next_tagged_edge(nullptr);
+    FAIL() << "factorization with a deleted cross-level edge must be "
+              "rejected by the access audit";
+  } catch (const Error& e) {
+    sched_testing::drop_next_tagged_edge(nullptr);  // belt and braces
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("access audit"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'prefix("), std::string::npos)
+        << "report must name the missing edge's writer: " << msg;
+    EXPECT_NE(msg.find("'T("), std::string::npos)
+        << "report must name the missing edge's reader: " << msg;
+  }
+  EXPECT_GE(audit_stats::violations(), 1u);
+
+  // Undropped, the same factorization passes the audit clean.
+  audit_stats::reset();
+  const HodlrFactorization<double> f = HodlrFactorization<double>::factor(p, {});
+  EXPECT_GE(audit_stats::graphs_audited(), 1u);
+  EXPECT_GT(audit_stats::checks(), 0u);
+  EXPECT_EQ(audit_stats::violations(), 0u);
+  (void)f;
+}
+
+/// The getrf lookahead DAG (P/U/S nodes incl. the U-reader vs left-swap
+/// fan-in edges) audits clean at a size that exercises several panels.
+TEST(AccessAudit, GetrfLookaheadAuditsClean) {
+  ASSERT_TRUE(g_env_ready);
+  ScopedEnv sched_env("HODLRX_SCHED", "graph");
+  ScopedEnv audit_env("HODLRX_AUDIT", "on");
+  const index_t n = 256;
+  Matrix<double> a = test::smooth_test_matrix<double>(n, 313);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
+  Matrix<double> ref = a;
+  std::vector<index_t> ipiv(static_cast<std::size_t>(n));
+  std::vector<index_t> ipiv_ref(static_cast<std::size_t>(n));
+  audit_stats::reset();
+  getrf_parallel(a.view(), ipiv.data());
+  EXPECT_GE(audit_stats::graphs_audited(), 1u)
+      << "n=256 graph-mode LU must take the audited lookahead DAG";
+  EXPECT_GT(audit_stats::checks(), 0u);
+  EXPECT_EQ(audit_stats::violations(), 0u);
+  // And it is still the same factorization the levels path computes.
+  {
+    ScopedEnv levels_env("HODLRX_SCHED", "levels");
+    getrf_parallel(ref.view(), ipiv_ref.data());
+  }
+  EXPECT_EQ(ipiv, ipiv_ref);
+  EXPECT_LE(rel_error<double>(a, ref), 1e-14)
+      << "lookahead DAG diverged from the blocked LU";
 }
 
 // ---------------------------------------------------------------------------
