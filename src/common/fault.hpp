@@ -39,6 +39,7 @@ enum class Site : int {
   kSvdSweeps,       ///< "svd.sweeps": batched Jacobi sweep budget forced to 1
   kAcaStall,        ///< "aca.stall": aca() stalls after two crosses
   kWorkspaceAlloc,  ///< "workspace.alloc": WorkspaceArena growth throws once
+  kDeviceAlloc,     ///< "device.alloc": Backend::allocate throws once
   kNumSites,
 };
 

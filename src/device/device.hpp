@@ -50,9 +50,13 @@ class DeviceContext {
   void record_d2h(std::size_t n) { d2h_.fetch_add(n); }
   std::size_t h2d_bytes() const { return h2d_.load(); }
   std::size_t d2h_bytes() const { return d2h_.load(); }
-  /// Modeled seconds to move n bytes over the link.
+  /// Modeled seconds to move n bytes over the link. A non-positive
+  /// bandwidth (set_bandwidth_gbs(0) is the documented way to disable the
+  /// transfer model) means "free", not a division by zero.
   double modeled_transfer_seconds(std::size_t n) const {
-    return static_cast<double>(n) / (bandwidth_gbs() * 1e9);
+    const double gbs = bandwidth_gbs();
+    if (gbs <= 0.0) return 0.0;
+    return static_cast<double>(n) / (gbs * 1e9);
   }
   void set_bandwidth_gbs(double gbs) {
     bandwidth_gbs_.store(gbs, std::memory_order_relaxed);

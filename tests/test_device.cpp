@@ -104,6 +104,23 @@ TEST(Device, TransferModel) {
   dev.reset_counters();
 }
 
+/// Regression: set_bandwidth_gbs(0) (benches use it to disable the model)
+/// used to divide by zero in modeled_transfer_seconds — NaN/inf leaked into
+/// the modeled `t_h2d` bench column. Zero bandwidth now means "model off":
+/// the modeled time is exactly 0.
+TEST(Device, ZeroBandwidthDisablesTransferModel) {
+  DeviceContext& dev = DeviceContext::global();
+  const double gbs = dev.bandwidth_gbs();
+  dev.set_bandwidth_gbs(0.0);
+  EXPECT_EQ(dev.modeled_transfer_seconds(0), 0.0);
+  EXPECT_EQ(dev.modeled_transfer_seconds(1u << 20), 0.0);
+  EXPECT_EQ(dev.modeled_transfer_seconds(12ull << 30), 0.0);
+  dev.set_bandwidth_gbs(-1.0);  // nonsense input clamps the same way
+  EXPECT_EQ(dev.modeled_transfer_seconds(1u << 20), 0.0);
+  dev.set_bandwidth_gbs(gbs);
+  EXPECT_GT(dev.modeled_transfer_seconds(1u << 20), 0.0);
+}
+
 TEST(Device, LaunchLatencyInjection) {
   DeviceContext& dev = DeviceContext::global();
   dev.reset_counters();
